@@ -1,0 +1,134 @@
+"""Ablation: same-page-merging algorithm families on the same substrate.
+
+Three algorithms from the paper's Sections 2 and 7 run against identical
+VM images:
+
+* **KSM** — content-ordered stable/unstable trees (the paper's baseline);
+* **UKSM** — whole-system scanning under a CPU budget (Section 7.2);
+* **ESX-style** — hash buckets; compare only on key collisions.
+
+All must converge to the same footprint; they differ in how much they
+compare and hash to get there — the work profile PageForge accelerates.
+"""
+
+import pytest
+
+from repro.common.config import KSMConfig
+from repro.common.rng import DeterministicRNG
+from repro.common.units import PAGE_BYTES
+from repro.ksm import ESXStyleMerger, KSMDaemon, UKSMDaemon
+from repro.mem import PhysicalMemory
+from repro.virt import Hypervisor
+from repro.workloads.memimage import MemoryImageProfile, build_vm_images
+
+
+def _world(seed=5, pages_per_vm=120, n_vms=6):
+    rng = DeterministicRNG(seed, "ablate-algos")
+    memory = PhysicalMemory(256 << 20)
+    hypervisor = Hypervisor(physical_memory=memory)
+    profile = MemoryImageProfile(n_pages_per_vm=pages_per_vm)
+    build_vm_images(hypervisor, profile, n_vms, rng)
+    return hypervisor
+
+
+def _run(algorithm):
+    hypervisor = _world()
+    if algorithm == "ksm":
+        merger = KSMDaemon(hypervisor, KSMConfig(pages_to_scan=5000))
+        merger.run_to_steady_state(max_passes=6)
+        comparisons = merger.stats.comparisons
+        bytes_compared = merger.stats.bytes_compared
+        hashes = merger.stats.checksums_computed
+    elif algorithm == "uksm":
+        merger = UKSMDaemon(hypervisor)
+        merger.run_to_steady_state(max_passes=6)
+        comparisons = merger.stats.comparisons
+        bytes_compared = merger.stats.bytes_compared
+        hashes = merger.stats.checksums_computed
+    elif algorithm == "esx":
+        merger = ESXStyleMerger(hypervisor)
+        merger.run_to_steady_state(max_passes=6)
+        comparisons = merger.stats.full_comparisons
+        bytes_compared = merger.stats.bytes_compared
+        hashes = merger.stats.hash_lookups
+    else:
+        raise ValueError(algorithm)
+    return {
+        "algorithm": algorithm,
+        "footprint": hypervisor.footprint_pages(),
+        "comparisons": comparisons,
+        "bytes_compared": bytes_compared,
+        "hashes": hashes,
+    }
+
+
+@pytest.fixture(scope="module")
+def runs():
+    return {algo: _run(algo) for algo in ("ksm", "uksm", "esx")}
+
+
+def test_ablation_algorithm_work_profiles(benchmark, runs):
+    benchmark.pedantic(_run, args=("esx",), rounds=1, iterations=1)
+    print("\nAblation: merging-algorithm families (identical images)")
+    print(f"{'algorithm':>10s} {'footprint':>10s} {'comparisons':>12s} "
+          f"{'MB compared':>12s} {'hashes':>8s}")
+    for row in runs.values():
+        print(f"{row['algorithm']:>10s} {row['footprint']:>10d} "
+              f"{row['comparisons']:>12d} "
+              f"{row['bytes_compared'] / 1e6:>12.2f} {row['hashes']:>8d}")
+
+
+def test_ablation_all_algorithms_agree_on_footprint(benchmark, runs):
+    def check():
+        footprints = {row["footprint"] for row in runs.values()}
+        assert len(footprints) == 1, runs
+
+    benchmark.pedantic(check, rounds=1, iterations=1)
+
+
+def test_ablation_esx_compares_least(benchmark, runs):
+    def check():
+        """The hash filter prunes candidates a tree walk must touch."""
+        assert runs["esx"]["comparisons"] < runs["ksm"]["comparisons"]
+        assert runs["esx"]["comparisons"] < runs["uksm"]["comparisons"]
+
+    benchmark.pedantic(check, rounds=1, iterations=1)
+
+
+def test_ablation_cache_bypass_alternative(benchmark):
+    """Section 4.3's second alternative: software KSM with cache-
+    bypassing (non-allocating) accesses.  Pollution disappears but the
+    stream still occupies MSHRs and every access pays the memory path —
+    the CPU cycles remain, which is the paper's argument against it.
+    """
+    from repro.cache import CoreCacheHierarchy, SetAssocCache, SnoopBus
+    from repro.common.config import ProcessorConfig
+
+    def run(allocate):
+        proc = ProcessorConfig(n_cores=1)
+        bus = SnoopBus()
+        l3 = SetAssocCache(proc.l3)
+        bus.register_shared(l3)
+        hierarchy = CoreCacheHierarchy(0, proc, l3, bus,
+                                       lambda *a: 150)
+        stalls = 0
+        for ppn in range(200):
+            for line in range(16):
+                result = hierarchy.access(
+                    ppn * 64 + line, source="ksm", allocate=allocate
+                )
+                stalls += result.latency_cycles
+        return stalls, l3.occupancy()
+
+    def check():
+        alloc_stalls, alloc_lines = run(allocate=True)
+        bypass_stalls, bypass_lines = run(allocate=False)
+        print("\nAblation: cache-bypassing scan accesses (Section 4.3)")
+        print(f"allocating : {alloc_stalls:>9d} stall cycles, "
+              f"{alloc_lines} L3 lines polluted")
+        print(f"bypassing  : {bypass_stalls:>9d} stall cycles, "
+              f"{bypass_lines} L3 lines polluted")
+        assert bypass_lines == 0  # no pollution...
+        assert bypass_stalls >= alloc_stalls  # ...but no cheaper either
+
+    benchmark.pedantic(check, rounds=1, iterations=1)

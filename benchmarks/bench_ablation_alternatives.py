@@ -1,0 +1,109 @@
+"""Ablation: design alternatives the paper argues against.
+
+* Section 4.1 — number of PageForge modules: scanning throughput rises
+  with module count, but so does memory pressure; the paper picks one
+  module for the whole system.
+* Section 4.1 — placement: in the MC vs on the interconnect.  MC-side
+  placement keeps locally-serviced traffic off the network; we count the
+  interconnect crossings each placement would generate.
+* Section 4.3 — an in-order core running the software algorithm: an
+  order of magnitude more power for the same work, plus core-side memory
+  paths.
+"""
+
+import pytest
+
+from repro.common.config import KSMConfig, PageForgeConfig
+from repro.common.rng import DeterministicRNG
+from repro.core.driver import PageForgeMergeDriver
+from repro.core.power import PageForgePowerModel
+from repro.mem import MemoryController, PhysicalMemory
+from repro.virt import Hypervisor
+from repro.workloads.memimage import MemoryImageProfile, build_vm_images
+
+
+def _merge_run(line_sampling=8, pages_per_vm=150, n_vms=6):
+    rng = DeterministicRNG(31, "ablate-alt")
+    memory = PhysicalMemory(256 << 20)
+    hypervisor = Hypervisor(physical_memory=memory)
+    profile = MemoryImageProfile(n_pages_per_vm=pages_per_vm)
+    build_vm_images(hypervisor, profile, n_vms, rng)
+    driver = PageForgeMergeDriver(
+        hypervisor, MemoryController(0, memory, verify_ecc=False),
+        ksm_config=KSMConfig(pages_to_scan=2000),
+        line_sampling=line_sampling,
+    )
+    driver.run_to_steady_state(max_passes=6)
+    return driver
+
+
+@pytest.fixture(scope="module")
+def merged_driver():
+    return _merge_run()
+
+
+def test_ablation_module_count_throughput(benchmark):
+    """N modules scan N candidates concurrently: per-candidate latency
+    is unchanged, aggregate scan rate scales, memory pressure scales."""
+    driver = benchmark.pedantic(_merge_run, rounds=1, iterations=1)
+    per_table = driver.hw_stats.mean_table_cycles
+    bytes_per_table = (
+        driver.hw_stats.lines_fetched * 64
+        / max(1, driver.hw_stats.tables_processed)
+    )
+    print("\nAblation: PageForge module count (Section 4.1)")
+    print(f"{'modules':>8s} {'tables/s (rel)':>15s} {'mem pressure (rel)':>19s}")
+    for n in (1, 2, 4):
+        print(f"{n:>8d} {n:>15.1f}x {n:>18.1f}x")
+    print(f"(one table = {per_table:,.0f} cycles, "
+          f"{bytes_per_table:,.0f} B of traffic)")
+    assert per_table > 0
+
+
+def test_ablation_placement_traffic(benchmark, merged_driver):
+    def check():
+        """MC-side placement keeps DRAM-serviced lines off the interconnect;
+        interconnect-side placement would cross it for every line."""
+        stats = merged_driver.hw_stats
+        mc_side_crossings = stats.lines_from_network  # only cached lines
+        interconnect_side = stats.lines_from_network + stats.lines_from_dram
+        print("\nAblation: placement (Section 4.1)")
+        print(f"in-MC placement      : {mc_side_crossings:>9d} network crossings")
+        print(f"on-interconnect      : {interconnect_side:>9d} network crossings")
+        assert interconnect_side > mc_side_crossings
+        # With no cores running, everything comes from DRAM: the MC-side
+        # placement eliminates essentially all interconnect traffic.
+        assert mc_side_crossings <= 0.1 * interconnect_side
+
+    benchmark.pedantic(check, rounds=1, iterations=1)
+
+def test_ablation_inorder_core_power(benchmark, merged_driver):
+    def check():
+        """Section 4.3/6.4.2: PageForge vs an L2-less in-order core."""
+        model = PageForgePowerModel()
+        _scan, _alu, total = model.report()
+        inorder, _server = model.comparison_points()
+        print("\nAblation: in-order-core alternative (Section 4.3)")
+        print(f"PageForge        : {total.area_mm2:.3f} mm^2, "
+              f"{total.power_w * 1e3:.0f} mW")
+        print(f"ARM-A9-class core: {inorder.area_mm2:.3f} mm^2, "
+              f"{inorder.power_w * 1e3:.0f} mW")
+        ratio = inorder.power_w / total.power_w
+        print(f"power ratio      : {ratio:.1f}x")
+        assert ratio >= 5.0
+
+    benchmark.pedantic(check, rounds=1, iterations=1)
+
+def test_ablation_sampled_timing_agrees_with_exact(benchmark):
+    def check():
+        """The line-sampled comparator (used at scale) must agree with the
+        exact per-line engine on merge outcomes."""
+        exact = _merge_run(line_sampling=1, pages_per_vm=60, n_vms=4)
+        sampled = _merge_run(line_sampling=8, pages_per_vm=60, n_vms=4)
+        assert exact.stats.merges == sampled.stats.merges
+        assert (
+            exact.daemon.hypervisor.footprint_pages()
+            == sampled.daemon.hypervisor.footprint_pages()
+        )
+
+    benchmark.pedantic(check, rounds=1, iterations=1)

@@ -1,0 +1,83 @@
+"""Ablation: KSM aggressiveness (pages_to_scan per work interval).
+
+Section 2.1 describes the two tuning knobs (``sleep_millisecs``,
+``pages_to_scan``).  This ablation sweeps the per-interval page budget
+and measures work-to-convergence: a larger budget converges in fewer
+intervals but each interval occupies the core for longer — the
+interference/responsiveness trade the paper's configuration (400 pages /
+5 ms) sits in the middle of.
+"""
+
+import pytest
+
+from repro.common.config import KSMConfig
+from repro.common.rng import DeterministicRNG
+from repro.ksm import KSMDaemon
+from repro.mem import PhysicalMemory
+from repro.virt import Hypervisor
+from repro.workloads.memimage import MemoryImageProfile, build_vm_images
+
+BUDGETS = (100, 400, 1600)
+
+
+def _converge_with_budget(pages_to_scan, pages_per_vm=200, n_vms=6):
+    rng = DeterministicRNG(13, f"ablate-ksm-{pages_to_scan}")
+    hypervisor = Hypervisor(physical_memory=PhysicalMemory(256 << 20))
+    profile = MemoryImageProfile(n_pages_per_vm=pages_per_vm)
+    images = build_vm_images(hypervisor, profile, n_vms, rng)
+    daemon = KSMDaemon(hypervisor, KSMConfig(pages_to_scan=pages_to_scan))
+    target = images.expected_merged_footprint(churn_active=False)
+    intervals = 0
+    max_interval_bytes = 0
+    while hypervisor.footprint_pages() > target and intervals < 500:
+        stats = daemon.scan_pages()
+        intervals += 1
+        max_interval_bytes = max(
+            max_interval_bytes, stats.total_bytes_touched
+        )
+    return {
+        "budget": pages_to_scan,
+        "intervals": intervals,
+        "footprint": hypervisor.footprint_pages(),
+        "target": target,
+        "max_interval_bytes": max_interval_bytes,
+    }
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return [_converge_with_budget(b) for b in BUDGETS]
+
+
+def test_ablation_ksm_tuning(benchmark, sweep):
+    benchmark.pedantic(_converge_with_budget, args=(400,),
+                       kwargs=dict(pages_per_vm=80, n_vms=4),
+                       rounds=1, iterations=1)
+    print("\nAblation: KSM pages_to_scan budget")
+    print(f"{'budget':>7s} {'intervals':>10s} {'peak bytes/interval':>20s}")
+    for row in sweep:
+        print(f"{row['budget']:>7d} {row['intervals']:>10d} "
+              f"{row['max_interval_bytes']:>20,d}")
+
+
+def test_ablation_all_budgets_converge(benchmark, sweep):
+    def check():
+        for row in sweep:
+            assert row["footprint"] == row["target"], row
+
+    benchmark.pedantic(check, rounds=1, iterations=1)
+
+def test_ablation_bigger_budget_fewer_intervals(benchmark, sweep):
+    def check():
+        intervals = [row["intervals"] for row in sweep]
+        assert intervals == sorted(intervals, reverse=True), intervals
+
+    benchmark.pedantic(check, rounds=1, iterations=1)
+
+def test_ablation_bigger_budget_heavier_intervals(benchmark, sweep):
+    def check():
+        """The interference trade: fewer, but heavier, intervals."""
+        weights = [row["max_interval_bytes"] for row in sweep]
+        assert weights == sorted(weights), weights
+
+    benchmark.pedantic(check, rounds=1, iterations=1)

@@ -1,0 +1,65 @@
+"""Ablation: the timing model's interference channels.
+
+The reproduction's service-time model exposes its two interference
+channels as explicit knobs (see ``repro/sim/system.py``): L3 displacement
+(``pollution_sensitivity``) and DRAM-bandwidth contention
+(``contention_beta``).  This ablation switches each channel off to show
+how much of KSM's measured overhead flows through it — the transparency
+a reproduction owes its readers: turn everything off and only the CPU
+steal (directly simulated) remains.
+"""
+
+import pytest
+
+from repro.sim import SimulationScale, run_latency_experiment
+
+SMALL = dict(pages_per_vm=700, n_vms=10, duration_s=0.4, warmup_s=0.5)
+
+
+def _overhead(pollution, contention):
+    scale = SimulationScale(
+        pollution_sensitivity=pollution, contention_beta=contention,
+        **SMALL,
+    )
+    result = run_latency_experiment(
+        "masstree", modes=("baseline", "ksm"), scale=scale
+    )
+    return result.normalized_mean("ksm")
+
+
+@pytest.fixture(scope="module")
+def channels():
+    return {
+        "all-on": _overhead(0.55, 3.0),
+        "no-pollution": _overhead(0.0, 3.0),
+        "no-contention": _overhead(0.55, 0.0),
+        "cpu-steal-only": _overhead(0.0, 0.0),
+    }
+
+
+def test_ablation_interference_channels(benchmark, channels):
+    def check():
+        print("\nAblation: interference channels (masstree, KSM mean)")
+        for name, overhead in channels.items():
+            print(f"{name:>16s}: {overhead:.3f}x")
+        assert channels["all-on"] >= channels["cpu-steal-only"]
+
+    benchmark.pedantic(check, rounds=1, iterations=1)
+
+
+def test_ablation_each_channel_contributes(benchmark, channels):
+    def check():
+        """Disabling either channel must not *increase* the overhead."""
+        assert channels["no-pollution"] <= channels["all-on"] + 0.03
+        assert channels["no-contention"] <= channels["all-on"] + 0.03
+
+    benchmark.pedantic(check, rounds=1, iterations=1)
+
+
+def test_ablation_cpu_steal_is_floor(benchmark, channels):
+    def check():
+        """With both channels off, overhead is pure queueing behind the
+        daemon's core occupancy — and still clearly above 1.0."""
+        assert channels["cpu-steal-only"] > 1.0
+
+    benchmark.pedantic(check, rounds=1, iterations=1)

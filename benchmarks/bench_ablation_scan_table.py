@@ -1,0 +1,84 @@
+"""Ablation: Scan-Table capacity (tree levels per refill).
+
+DESIGN.md calls out the 31-entry Scan Table (root + four levels) as a
+design choice.  This ablation varies the Other Pages capacity and
+measures how many table refills (OS interventions) a steady-state merge
+run needs — the hardware/software interaction cost the sizing trades
+against SRAM area.
+"""
+
+import pytest
+
+from repro.common.config import KSMConfig, PageForgeConfig
+from repro.common.rng import DeterministicRNG
+from repro.core.driver import PageForgeMergeDriver
+from repro.core.power import PageForgePowerModel
+from repro.mem import MemoryController, PhysicalMemory
+from repro.virt import Hypervisor
+from repro.workloads.memimage import MemoryImageProfile, build_vm_images
+
+CAPACITIES = (7, 15, 31, 63)
+
+
+def _run_with_capacity(capacity, pages_per_vm=150, n_vms=6):
+    rng = DeterministicRNG(77, f"ablate-scan-{capacity}")
+    memory = PhysicalMemory(256 * 1024 * 1024)
+    hypervisor = Hypervisor(physical_memory=memory)
+    profile = MemoryImageProfile(n_pages_per_vm=pages_per_vm)
+    build_vm_images(hypervisor, profile, n_vms, rng)
+    driver = PageForgeMergeDriver(
+        hypervisor,
+        MemoryController(0, memory, verify_ecc=False),
+        ksm_config=KSMConfig(pages_to_scan=2000),
+        pf_config=PageForgeConfig(other_pages_entries=capacity),
+        line_sampling=8,
+    )
+    driver.run_to_steady_state(max_passes=6)
+    return {
+        "capacity": capacity,
+        "footprint": hypervisor.footprint_pages(),
+        "refills": driver.strategy.table_refills,
+        "comparisons": driver.hw_stats.page_comparisons,
+        "table_bytes": driver.engine.table.storage_bytes(),
+    }
+
+
+@pytest.fixture(scope="module")
+def ablation():
+    return [_run_with_capacity(c) for c in CAPACITIES]
+
+
+def test_ablation_scan_table_size(benchmark, ablation):
+    benchmark.pedantic(_run_with_capacity, args=(31,),
+                       rounds=1, iterations=1)
+    print("\nAblation: Scan-Table capacity (Other Pages entries)")
+    print(f"{'entries':>8s} {'refills':>8s} {'compares':>9s} "
+          f"{'SRAM bytes':>10s} {'footprint':>10s}")
+    for row in ablation:
+        print(f"{row['capacity']:>8d} {row['refills']:>8d} "
+              f"{row['comparisons']:>9d} {row['table_bytes']:>10d} "
+              f"{row['footprint']:>10d}")
+
+
+def test_ablation_savings_invariant_to_capacity(benchmark, ablation):
+    def check():
+        """Table size changes cost, never the merge result."""
+        footprints = {row["footprint"] for row in ablation}
+        assert len(footprints) == 1, footprints
+
+    benchmark.pedantic(check, rounds=1, iterations=1)
+
+def test_ablation_bigger_table_fewer_refills(benchmark, ablation):
+    def check():
+        refills = [row["refills"] for row in ablation]
+        assert refills == sorted(refills, reverse=True), refills
+
+    benchmark.pedantic(check, rounds=1, iterations=1)
+
+def test_ablation_comparisons_stable(benchmark, ablation):
+    def check():
+        """The tree walk compares the same pages regardless of batching."""
+        comparisons = [row["comparisons"] for row in ablation]
+        assert max(comparisons) - min(comparisons) <= 0.2 * max(comparisons)
+
+    benchmark.pedantic(check, rounds=1, iterations=1)

@@ -1,0 +1,69 @@
+"""Figure 8: outcome of hash-key comparisons (jhash vs ECC keys).
+
+Replays KSM's per-pass hash-stability check on live VM images with write
+churn, keying every page with both the 1 KB jhash2 checksum and the
+256 B ECC-based key.  The shape to reproduce: both keys match on the vast
+majority of comparisons, and the ECC key shows *slightly more* matches —
+all of them false positives (changed pages the narrower key missed) —
+averaging a few percent of comparisons (paper: 3.7%).
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import APPS, FIG8_PAGES_PER_VM, FIG8_VMS
+from repro.analysis import format_fig8_hash_keys
+from repro.sim import run_hash_key_study
+
+
+@pytest.fixture(scope="module")
+def hash_results():
+    return [
+        run_hash_key_study(
+            app, pages_per_vm=FIG8_PAGES_PER_VM, n_vms=FIG8_VMS,
+            n_passes=6,
+        )
+        for app in APPS
+    ]
+
+
+def test_fig8_regenerate(benchmark, hash_results):
+    benchmark.pedantic(
+        run_hash_key_study, args=("moses",),
+        kwargs=dict(pages_per_vm=FIG8_PAGES_PER_VM, n_vms=FIG8_VMS,
+                    n_passes=3),
+        rounds=1, iterations=1,
+    )
+    print("\n" + format_fig8_hash_keys(hash_results))
+    for r in hash_results:
+        assert r.comparisons > 0
+
+
+def test_fig8_ecc_keys_have_more_matches(benchmark, hash_results):
+    def check():
+        """ECC keys sample fewer bytes, so they miss more changes: their
+        match fraction must be >= jhash's for every app."""
+        for r in hash_results:
+            assert r.ecc_match_frac >= r.jhash_match_frac, r.app_name
+
+    benchmark.pedantic(check, rounds=1, iterations=1)
+
+def test_fig8_extra_false_positives_in_paper_range(benchmark, hash_results):
+    def check():
+        """The average extra ECC false-positive rate is a few percent."""
+        extra = np.mean([r.extra_ecc_false_positive_frac for r in hash_results])
+        assert 0.005 <= extra <= 0.12, extra
+
+    benchmark.pedantic(check, rounds=1, iterations=1)
+
+def test_fig8_mismatch_never_false(benchmark, hash_results):
+    def check():
+        """A key mismatch guarantees the page changed (Section 3.3): the
+        false-positive count lives entirely on the match side."""
+        for r in hash_results:
+            assert r.jhash_matches + r.jhash_mismatches == r.comparisons
+            assert r.ecc_matches + r.ecc_mismatches == r.comparisons
+            assert r.jhash_false_positives <= r.jhash_matches
+            assert r.ecc_false_positives <= r.ecc_matches
+
+    benchmark.pedantic(check, rounds=1, iterations=1)

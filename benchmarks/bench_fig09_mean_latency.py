@@ -1,0 +1,67 @@
+"""Figure 9: mean sojourn latency normalised to Baseline.
+
+Runs every TailBench app under the three configurations and reports the
+geometric-mean sojourn latency per VM, normalised to Baseline.  Shape to
+reproduce: KSM's software scanning inflates the mean substantially
+(paper average 1.68x) while PageForge stays close to Baseline (1.10x).
+"""
+
+from benchmarks.conftest import APPS, LATENCY_SCALE
+from repro.analysis import format_fig9_mean_latency, geometric_mean
+from repro.sim import run_latency_experiment
+
+
+def test_fig9_regenerate(benchmark, latency_results):
+    benchmark.pedantic(
+        run_latency_experiment, args=("masstree",),
+        kwargs=dict(modes=("baseline",), scale=LATENCY_SCALE),
+        rounds=1, iterations=1,
+    )
+    results = [latency_results[app] for app in APPS]
+    print("\n" + format_fig9_mean_latency(results))
+    for r in results:
+        assert r.summaries["baseline"].queries > 0
+
+
+def test_fig9_ksm_slower_than_pageforge(benchmark, latency_results):
+    def check():
+        """KSM's mean overhead exceeds PageForge's for every app except
+        (at most) sphinx, whose second-scale queries tolerate the scan
+        daemon almost completely — there the two may tie within noise."""
+        worse = 0
+        for app in APPS:
+            r = latency_results[app]
+            ksm = r.normalized_mean("ksm")
+            pf = r.normalized_mean("pageforge")
+            if ksm > pf:
+                worse += 1
+            else:
+                assert app == "sphinx" and ksm > pf - 0.08, (app, ksm, pf)
+        assert worse >= len(APPS) - 1
+
+    benchmark.pedantic(check, rounds=1, iterations=1)
+
+def test_fig9_pageforge_near_baseline(benchmark, latency_results):
+    def check():
+        """PageForge's average overhead stays small (paper: 10%)."""
+        norms = [latency_results[a].normalized_mean("pageforge") for a in APPS]
+        assert geometric_mean(norms) <= 1.30, norms
+
+    benchmark.pedantic(check, rounds=1, iterations=1)
+
+def test_fig9_ksm_overhead_substantial(benchmark, latency_results):
+    def check():
+        """KSM's average mean-latency overhead is large (paper: 68%)."""
+        norms = [latency_results[a].normalized_mean("ksm") for a in APPS]
+        assert geometric_mean(norms) >= 1.25, norms
+
+    benchmark.pedantic(check, rounds=1, iterations=1)
+
+def test_fig9_sphinx_most_tolerant(benchmark, latency_results):
+    def check():
+        """Second-scale queries tolerate the scan daemon best (Section 6.3):
+        sphinx's KSM overhead is the smallest of the five apps."""
+        overheads = {a: latency_results[a].normalized_mean("ksm") for a in APPS}
+        assert overheads["sphinx"] == min(overheads.values()), overheads
+
+    benchmark.pedantic(check, rounds=1, iterations=1)

@@ -1,0 +1,19 @@
+"""Table 2: architectural parameters of the evaluated machine.
+
+This bench verifies and prints the configuration every experiment runs
+with; benchmarking covers machine construction (config + component
+instantiation cost).
+"""
+
+from repro.analysis import format_table2_configuration
+from repro.common import default_machine_config
+
+
+def test_table2_configuration(benchmark):
+    machine = benchmark(default_machine_config)
+    text = format_table2_configuration(machine)
+    print("\n" + text)
+    assert machine.processor.n_cores == 10
+    assert machine.dram.capacity_bytes == 16 << 30
+    assert machine.ksm.pages_to_scan == 400
+    assert machine.pageforge.other_pages_entries == 31

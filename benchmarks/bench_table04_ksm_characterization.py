@@ -1,0 +1,68 @@
+"""Table 4: characterisation of the KSM configuration.
+
+Shape to reproduce: the KSM process occupies a modest average share of
+each core but a large share of whichever core hosts it (paper: 6.8% avg,
+33.4% max); page comparison dominates its cycles (51.8%) over hash-key
+generation (14.8%); and the shared L3's local miss rate rises by several
+points over Baseline (33.8% -> 39.2%).
+"""
+
+import numpy as np
+
+from benchmarks.conftest import APPS, LATENCY_SCALE
+from repro.analysis import format_table4_ksm_characterization
+from repro.sim import run_latency_experiment
+
+
+def test_table4_regenerate(benchmark, latency_results):
+    benchmark.pedantic(
+        run_latency_experiment, args=("moses",),
+        kwargs=dict(modes=("ksm",), scale=LATENCY_SCALE),
+        rounds=1, iterations=1,
+    )
+    results = [latency_results[app] for app in APPS]
+    print("\n" + format_table4_ksm_characterization(results))
+
+
+def test_table4_max_core_far_exceeds_average(benchmark, latency_results):
+    def check():
+        """Sticky scheduling concentrates the daemon on few cores."""
+        for app in APPS:
+            ksm = latency_results[app].summaries["ksm"]
+            assert ksm.kernel_share_max >= 2.0 * ksm.kernel_share_avg, app
+
+    benchmark.pedantic(check, rounds=1, iterations=1)
+
+def test_table4_compare_dominates_hash(benchmark, latency_results):
+    def check():
+        """Page comparison outweighs hash generation (51.8% vs 14.8%)."""
+        for app in APPS:
+            ksm = latency_results[app].summaries["ksm"]
+            assert ksm.ksm_compare_share > ksm.ksm_hash_share, app
+            assert ksm.ksm_compare_share >= 0.30, app
+            assert 0.02 <= ksm.ksm_hash_share <= 0.40, app
+
+    benchmark.pedantic(check, rounds=1, iterations=1)
+
+def test_table4_l3_miss_rises_under_ksm(benchmark, latency_results):
+    def check():
+        """Cache pollution raises the L3 local miss rate by a few points."""
+        deltas = []
+        for app in APPS:
+            s = latency_results[app].summaries
+            delta = s["ksm"].l3_miss_rate - s["baseline"].l3_miss_rate
+            assert delta > 0, app
+            deltas.append(delta)
+        assert 0.01 <= np.mean(deltas) <= 0.15, deltas
+
+    benchmark.pedantic(check, rounds=1, iterations=1)
+
+def test_table4_pageforge_never_steals_cores(benchmark, latency_results):
+    def check():
+        """PageForge's only CPU cost is the OS poll/refill slice."""
+        for app in APPS:
+            pf = latency_results[app].summaries["pageforge"]
+            ksm = latency_results[app].summaries["ksm"]
+            assert pf.kernel_share_avg < 0.25 * ksm.kernel_share_avg, app
+
+    benchmark.pedantic(check, rounds=1, iterations=1)

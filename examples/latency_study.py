@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Latency study: what does page merging cost a latency-critical service?
+
+Runs one TailBench application under the paper's three configurations
+(Section 5.3) and reports mean sojourn and p95 tail latency normalised to
+Baseline — the experiment behind Figures 9 and 10.  KSM's software
+scanning steals core time and pollutes caches; PageForge does the same
+work in the memory controller and should stay within ~10% of Baseline.
+
+Run:  python examples/latency_study.py [app] [duration_s]
+      (apps: img-dnn masstree moses silo sphinx; default moses)
+"""
+
+import sys
+
+from repro.common.config import TAILBENCH_APPS
+from repro.sim import SimulationScale, run_latency_experiment
+
+
+def main(app_name="moses", duration_s=1.0):
+    if app_name not in TAILBENCH_APPS:
+        raise SystemExit(
+            f"unknown app {app_name!r}; pick from {list(TAILBENCH_APPS)}"
+        )
+    scale = SimulationScale(
+        pages_per_vm=1500, n_vms=10,
+        duration_s=duration_s, warmup_s=1.0,
+    )
+    print(f"running {app_name} under baseline / ksm / pageforge ...")
+    result = run_latency_experiment(app_name, scale=scale)
+
+    print(f"\n{'config':>10s} {'mean':>10s} {'p95':>10s} "
+          f"{'norm mean':>10s} {'norm p95':>9s} {'peak BW':>8s}")
+    for mode in ("baseline", "ksm", "pageforge"):
+        s = result.summaries[mode]
+        print(
+            f"{mode:>10s} {s.mean_sojourn_s * 1e3:>8.2f}ms "
+            f"{s.p95_sojourn_s * 1e3:>8.2f}ms "
+            f"{result.normalized_mean(mode):>10.2f} "
+            f"{result.normalized_p95(mode):>9.2f} "
+            f"{s.bandwidth_peak_gbps:>6.1f}GB"
+        )
+
+    ksm = result.summaries["ksm"]
+    print(f"\nKSM daemon occupied {ksm.kernel_share_avg:.1%} of each core "
+          f"on average (max core: {ksm.kernel_share_max:.1%});")
+    print(f"inside the KSM process, {ksm.ksm_compare_share:.0%} of cycles "
+          f"compared pages and {ksm.ksm_hash_share:.0%} hashed them.")
+    pf = result.summaries["pageforge"]
+    print(f"PageForge processed one Scan Table in "
+          f"{pf.pf_mean_table_cycles:,.0f} cycles on average "
+          f"(std {pf.pf_std_table_cycles:,.0f}).")
+    print("\npaper reference: KSM 1.68x mean / 2.36x tail; "
+          "PageForge 1.10x mean / 1.11x tail.")
+
+
+if __name__ == "__main__":
+    app = sys.argv[1] if len(sys.argv) > 1 else "moses"
+    dur = float(sys.argv[2]) if len(sys.argv) > 2 else 1.0
+    main(app, dur)

@@ -1,0 +1,72 @@
+"""PageForge: A Near-Memory Content-Aware Page-Merging Architecture.
+
+A complete Python reproduction of Skarlatos, Kim, and Torrellas,
+MICRO-50 (2017).  The package is organised as the paper's system stack:
+
+* :mod:`repro.core`      — PageForge itself (Scan Table, comparator FSM,
+  ECC hash keys, the five-function OS API, drivers, area/power model);
+* :mod:`repro.ksm`       — RedHat's Kernel Same-page Merging, ported
+  faithfully (Algorithm 1, stable/unstable red-black trees, jhash2);
+* :mod:`repro.virt`      — VMs, the hypervisor, merging, copy-on-write;
+* :mod:`repro.mem`       — page frames, physical memory, DRAM timing,
+  the memory controller with request coalescing;
+* :mod:`repro.ecc`       — a real (72,64) Hamming SECDED codec;
+* :mod:`repro.cache`     — L1/L2/L3 caches with MESI snoop coherence;
+* :mod:`repro.cpu`       — cores and kernel-thread scheduling;
+* :mod:`repro.workloads` — VM memory images and TailBench-like load;
+* :mod:`repro.sim`       — the composed server and experiment runners;
+* :mod:`repro.analysis`  — renderers for every reproduced table/figure.
+
+Quickstart::
+
+    from repro import quick_merge_demo
+    print(quick_merge_demo())
+"""
+
+__version__ = "1.0.0"
+
+from repro.common.config import (
+    MachineConfig,
+    TAILBENCH_APPS,
+    default_machine_config,
+)
+
+
+def quick_merge_demo(n_vms=2, seed=7):
+    """Tiny end-to-end demo: merge identical pages across two VMs.
+
+    Returns a human-readable summary string.  See ``examples/`` for the
+    full-featured programs.
+    """
+    from repro.common.rng import DeterministicRNG
+    from repro.common.units import PAGE_BYTES
+    from repro.core.driver import PageForgeMergeDriver
+    from repro.mem import MemoryController, PhysicalMemory
+    from repro.virt import Hypervisor
+
+    rng = DeterministicRNG(seed, "quick-demo")
+    memory = PhysicalMemory(64 * 1024 * 1024)
+    hypervisor = Hypervisor(physical_memory=memory)
+    shared = rng.bytes_array(PAGE_BYTES)
+    for i in range(n_vms):
+        vm = hypervisor.create_vm(f"vm{i}")
+        hypervisor.populate_page(vm, 0, shared, mergeable=True)
+        hypervisor.populate_page(vm, 1, rng.bytes_array(PAGE_BYTES),
+                                 mergeable=True)
+    before = hypervisor.footprint_pages()
+    driver = PageForgeMergeDriver(hypervisor, MemoryController(0, memory))
+    driver.run_to_steady_state()
+    after = hypervisor.footprint_pages()
+    return (
+        f"{n_vms} VMs, {before} pages before merging, {after} after "
+        f"({driver.stats.merges} merges by the PageForge hardware)"
+    )
+
+
+__all__ = [
+    "MachineConfig",
+    "TAILBENCH_APPS",
+    "__version__",
+    "default_machine_config",
+    "quick_merge_demo",
+]

@@ -1,0 +1,30 @@
+"""Result formatting: render every reproduced table and figure as text.
+
+Each ``format_*`` function takes the corresponding runner results and
+returns the rows/series the paper reports, ready to print from a
+benchmark or example.
+"""
+
+from repro.analysis.report import (
+    format_fig7_memory_savings,
+    format_fig8_hash_keys,
+    format_fig9_mean_latency,
+    format_fig10_tail_latency,
+    format_fig11_bandwidth,
+    format_table2_configuration,
+    format_table4_ksm_characterization,
+    format_table5_pageforge,
+    geometric_mean,
+)
+
+__all__ = [
+    "format_fig10_tail_latency",
+    "format_fig11_bandwidth",
+    "format_fig7_memory_savings",
+    "format_fig8_hash_keys",
+    "format_fig9_mean_latency",
+    "format_table2_configuration",
+    "format_table4_ksm_characterization",
+    "format_table5_pageforge",
+    "geometric_mean",
+]

@@ -1,0 +1,98 @@
+"""Result exporters: CSV and JSON for downstream analysis/plotting."""
+
+import csv
+import io
+import json
+from dataclasses import asdict, is_dataclass
+
+
+def _plain(value):
+    """Recursively convert dataclasses/dicts to JSON-friendly values."""
+    if is_dataclass(value) and not isinstance(value, type):
+        return {k: _plain(v) for k, v in asdict(value).items()}
+    if isinstance(value, dict):
+        return {str(k): _plain(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_plain(v) for v in value]
+    if hasattr(value, "item"):  # numpy scalars
+        return value.item()
+    return value
+
+
+def savings_to_rows(results):
+    """Fig. 7 results -> list of flat dict rows."""
+    rows = []
+    for r in results:
+        norm = r.normalized_after()
+        rows.append({
+            "app": r.app_name,
+            "engine": r.engine,
+            "pages_before": r.pages_before,
+            "pages_after": r.pages_after,
+            "savings_frac": round(r.savings_frac, 4),
+            "unmergeable_frac": round(norm.get("unmergeable", 0.0), 4),
+            "zero_frac": round(norm.get("zero", 0.0), 4),
+            "mergeable_frac": round(norm.get("mergeable", 0.0), 4),
+        })
+    return rows
+
+
+def latency_to_rows(results):
+    """ExperimentResult list -> flat rows, one per (app, mode)."""
+    rows = []
+    for r in results:
+        for mode, s in r.summaries.items():
+            rows.append({
+                "app": r.app_name,
+                "mode": mode,
+                "mean_sojourn_s": s.mean_sojourn_s,
+                "p95_sojourn_s": s.p95_sojourn_s,
+                "norm_mean": round(r.normalized_mean(mode), 4)
+                if mode != "baseline" else 1.0,
+                "norm_p95": round(r.normalized_p95(mode), 4)
+                if mode != "baseline" else 1.0,
+                "queries": s.queries,
+                "kernel_share_avg": round(s.kernel_share_avg, 5),
+                "kernel_share_max": round(s.kernel_share_max, 5),
+                "l3_miss_rate": round(s.l3_miss_rate, 4),
+                "bandwidth_peak_gbps": round(s.bandwidth_peak_gbps, 3),
+            })
+    return rows
+
+
+def hash_study_to_rows(results):
+    """Fig. 8 results -> flat rows."""
+    return [{
+        "app": r.app_name,
+        "comparisons": r.comparisons,
+        "jhash_match_frac": round(r.jhash_match_frac, 5),
+        "ecc_match_frac": round(r.ecc_match_frac, 5),
+        "jhash_false_positives": r.jhash_false_positives,
+        "ecc_false_positives": r.ecc_false_positives,
+        "extra_ecc_fp_frac": round(r.extra_ecc_false_positive_frac, 5),
+    } for r in results]
+
+
+def rows_to_csv(rows, path=None):
+    """Serialise rows to CSV; returns the text (and writes if ``path``)."""
+    if not rows:
+        return ""
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=list(rows[0].keys()),
+                            lineterminator="\n")
+    writer.writeheader()
+    writer.writerows(rows)
+    text = buffer.getvalue()
+    if path is not None:
+        with open(path, "w", newline="") as handle:
+            handle.write(text)
+    return text
+
+
+def rows_to_json(rows, path=None, indent=2):
+    """Serialise rows (or any dataclass tree) to JSON."""
+    text = json.dumps(_plain(rows), indent=indent)
+    if path is not None:
+        with open(path, "w") as handle:
+            handle.write(text)
+    return text

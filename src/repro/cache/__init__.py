@@ -1,0 +1,25 @@
+"""Cache substrate: set-associative caches, MESI coherence, snoop bus.
+
+Models Table 2's hierarchy — per-core 32 KB L1 and 256 KB L2, a shared
+32 MB L3, and a snoopy MESI bus.  Tags are tracked (data lives in the
+physical frames), which is sufficient for the phenomena the paper
+measures: hit/miss behaviour, pollution caused by the KSM daemon
+streaming pages through the caches, and the MC/PageForge "probe the
+network first" path that services requests from a cache when the latest
+copy is on chip.
+"""
+
+from repro.cache.bus import ProbeResult, SnoopBus
+from repro.cache.hierarchy import AccessResult, CoreCacheHierarchy
+from repro.cache.mesi import MESIState
+from repro.cache.setassoc import CacheStats, SetAssocCache
+
+__all__ = [
+    "AccessResult",
+    "CacheStats",
+    "CoreCacheHierarchy",
+    "MESIState",
+    "ProbeResult",
+    "SetAssocCache",
+    "SnoopBus",
+]

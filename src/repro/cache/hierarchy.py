@@ -1,0 +1,115 @@
+"""A core's view of the cache hierarchy (L1 -> L2 -> shared L3 -> memory).
+
+Latencies follow Table 2 (2 / 6 / 20-cycle round trips).  The hierarchy is
+what the KSM daemon pollutes: every byte it compares streams through the
+caches of whichever core it is currently scheduled on, evicting
+application lines — the L3 miss-rate inflation of Table 4.
+"""
+
+from dataclasses import dataclass
+
+from repro.cache.mesi import MESIState
+from repro.cache.setassoc import SetAssocCache
+
+
+@dataclass
+class AccessResult:
+    """Where an access hit and what it cost."""
+
+    level: str  # "L1" | "L2" | "L3" | "MEM"
+    latency_cycles: int
+    mshr_stall: bool = False
+
+
+class CoreCacheHierarchy:
+    """Private L1/L2 in front of the shared L3 for one core."""
+
+    def __init__(self, core_id, processor_config, shared_l3, bus,
+                 memory_latency_fn=None):
+        self.core_id = core_id
+        self.config = processor_config
+        self.l1 = SetAssocCache(processor_config.l1)
+        self.l2 = SetAssocCache(processor_config.l2)
+        self.l3 = shared_l3
+        self.bus = bus
+        # Called on an L3 miss: (addr, is_write, source) -> latency cycles.
+        self._memory_latency_fn = memory_latency_fn or (lambda *a: 200)
+        bus.register_private(core_id, [self.l1, self.l2])
+
+    def access(self, addr, is_write=False, source="core", allocate=True):
+        """One line access by this core; returns :class:`AccessResult`.
+
+        ``allocate=False`` models cache-bypassing accesses (Section 4.3):
+        the data is fetched but not installed, though it still occupies an
+        MSHR while outstanding.
+        """
+        cfg = self.config
+        fill_state = MESIState.MODIFIED if is_write else MESIState.EXCLUSIVE
+
+        if self.l1.lookup(addr, source=source) is not None:
+            if is_write:
+                self.l1.set_state(addr, MESIState.MODIFIED)
+                self.bus.read_exclusive(addr, self.core_id)
+            return AccessResult("L1", cfg.l1.round_trip_cycles)
+
+        if self.l2.lookup(addr, source=source) is not None:
+            if allocate:
+                self.l1.insert(addr, fill_state, source=source)
+            if is_write:
+                self.l2.set_state(addr, MESIState.MODIFIED)
+                self.bus.read_exclusive(addr, self.core_id)
+            return AccessResult("L2", cfg.l2.round_trip_cycles)
+
+        mshr_stall = not self.l2.acquire_mshr()
+        try:
+            if self.l3.lookup(addr, source=source) is not None:
+                latency = cfg.l3.round_trip_cycles
+                level = "L3"
+                if is_write:
+                    self.bus.read_exclusive(addr, self.core_id)
+            else:
+                # Snoop other cores, then go to memory.
+                probe = (
+                    self.bus.read_exclusive(addr, self.core_id)
+                    if is_write
+                    else self.bus.read_shared(addr, self.core_id)
+                )
+                if probe.hit:
+                    latency = cfg.l3.round_trip_cycles + 10  # cache-to-cache
+                    level = "L3"
+                else:
+                    latency = cfg.l3.round_trip_cycles + self._memory_latency_fn(
+                        addr, is_write, source
+                    )
+                    level = "MEM"
+                if allocate:
+                    self.l3.insert(
+                        addr,
+                        MESIState.MODIFIED if is_write else MESIState.SHARED,
+                        source=source,
+                    )
+        finally:
+            self.l2.release_mshr()
+
+        if allocate:
+            self.l2.insert(addr, fill_state, source=source)
+            self.l1.insert(addr, fill_state, source=source)
+        if mshr_stall:
+            latency += cfg.l2.round_trip_cycles  # retry delay under pressure
+        return AccessResult(level, latency, mshr_stall=mshr_stall)
+
+    def touch_page(self, ppn, is_write=False, source="core", lines=None,
+                   allocate=True):
+        """Access several lines of a page; returns total latency cycles.
+
+        ``lines=None`` touches the full page (what a page comparison or a
+        jhash over the page's first 1 KB does, depending on the slice).
+        """
+        total = 0
+        for line_index in lines if lines is not None else range(64):
+            result = self.access(
+                ppn * 64 + line_index, is_write=is_write, source=source,
+                allocate=allocate,
+            )
+            total += result.latency_cycles
+        return total

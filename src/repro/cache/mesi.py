@@ -1,0 +1,24 @@
+"""MESI coherence states (Table 2: snoopy MESI at the L3 bus)."""
+
+import enum
+
+
+class MESIState(enum.Enum):
+    MODIFIED = "M"
+    EXCLUSIVE = "E"
+    SHARED = "S"
+    INVALID = "I"
+
+    @property
+    def is_valid(self):
+        return self is not MESIState.INVALID
+
+    @property
+    def can_supply(self):
+        """Whether a cache holding this state can source the line."""
+        return self in (MESIState.MODIFIED, MESIState.EXCLUSIVE,
+                        MESIState.SHARED)
+
+    @property
+    def is_dirty(self):
+        return self is MESIState.MODIFIED

@@ -1,0 +1,173 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands map one-to-one onto the paper's experiments:
+
+* ``savings``   — Figure 7 (memory footprint with/without merging);
+* ``hashkeys``  — Figure 8 (jhash vs ECC key outcomes);
+* ``latency``   — Figures 9/10/11 + Tables 4/5 for chosen apps;
+* ``demo``      — the 30-second quickstart merge demo;
+* ``config``    — print Table 2 (the architecture in force).
+
+Every command accepts ``--csv PATH`` / ``--json PATH`` to export rows.
+"""
+
+import argparse
+import sys
+
+from repro.analysis import (
+    format_fig7_memory_savings,
+    format_fig8_hash_keys,
+    format_fig9_mean_latency,
+    format_fig10_tail_latency,
+    format_fig11_bandwidth,
+    format_table2_configuration,
+    format_table4_ksm_characterization,
+    format_table5_pageforge,
+)
+from repro.analysis.export import (
+    hash_study_to_rows,
+    latency_to_rows,
+    rows_to_csv,
+    rows_to_json,
+    savings_to_rows,
+)
+from repro.common.config import TAILBENCH_APPS, default_machine_config
+
+
+def _add_export_args(parser):
+    parser.add_argument("--csv", help="write result rows to a CSV file")
+    parser.add_argument("--json", help="write result rows to a JSON file")
+    parser.add_argument(
+        "--apps", nargs="*", default=list(TAILBENCH_APPS),
+        choices=list(TAILBENCH_APPS), help="applications to run",
+    )
+    parser.add_argument("--seed", type=int, default=2017)
+
+
+def _export(rows, args):
+    if args.csv:
+        rows_to_csv(rows, args.csv)
+        print(f"wrote {args.csv}")
+    if args.json:
+        rows_to_json(rows, args.json)
+        print(f"wrote {args.json}")
+
+
+def cmd_savings(args):
+    from repro.sim import run_memory_savings
+
+    results = []
+    for app in args.apps:
+        for engine in ("ksm", "pageforge"):
+            result = run_memory_savings(
+                app, pages_per_vm=args.pages_per_vm, n_vms=args.vms,
+                engine=engine, seed=args.seed,
+            )
+            results.append(result)
+    pageforge = [r for r in results if r.engine == "pageforge"]
+    print(format_fig7_memory_savings(pageforge))
+    _export(savings_to_rows(results), args)
+    return 0
+
+
+def cmd_hashkeys(args):
+    from repro.sim import run_hash_key_study
+
+    results = [
+        run_hash_key_study(
+            app, pages_per_vm=args.pages_per_vm, n_vms=args.vms,
+            n_passes=args.passes, seed=args.seed,
+        )
+        for app in args.apps
+    ]
+    print(format_fig8_hash_keys(results))
+    _export(hash_study_to_rows(results), args)
+    return 0
+
+
+def cmd_latency(args):
+    from repro.core.power import PageForgePowerModel
+    from repro.sim import SimulationScale, run_latency_experiment
+
+    scale = SimulationScale(
+        pages_per_vm=args.pages_per_vm, n_vms=args.vms,
+        duration_s=args.duration, warmup_s=args.warmup,
+    )
+    results = []
+    for app in args.apps:
+        print(f"running {app} ...", file=sys.stderr)
+        results.append(
+            run_latency_experiment(app, scale=scale, seed=args.seed)
+        )
+    print(format_fig9_mean_latency(results))
+    print()
+    print(format_fig10_tail_latency(results))
+    print()
+    print(format_fig11_bandwidth(results))
+    print()
+    print(format_table4_ksm_characterization(results))
+    print()
+    print(format_table5_pageforge(results, PageForgePowerModel()))
+    _export(latency_to_rows(results), args)
+    return 0
+
+
+def cmd_demo(args):
+    from repro import quick_merge_demo
+
+    print(quick_merge_demo(n_vms=args.vms, seed=args.seed))
+    return 0
+
+
+def cmd_config(_args):
+    print(format_table2_configuration(default_machine_config()))
+    return 0
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="PageForge (MICRO 2017) reproduction experiments",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("savings", help="Figure 7: memory savings")
+    _add_export_args(p)
+    p.add_argument("--pages-per-vm", type=int, default=600)
+    p.add_argument("--vms", type=int, default=10)
+    p.set_defaults(func=cmd_savings)
+
+    p = sub.add_parser("hashkeys", help="Figure 8: hash-key outcomes")
+    _add_export_args(p)
+    p.add_argument("--pages-per-vm", type=int, default=400)
+    p.add_argument("--vms", type=int, default=4)
+    p.add_argument("--passes", type=int, default=6)
+    p.set_defaults(func=cmd_hashkeys)
+
+    p = sub.add_parser("latency",
+                       help="Figures 9-11 + Tables 4-5: timed system")
+    _add_export_args(p)
+    p.add_argument("--pages-per-vm", type=int, default=1200)
+    p.add_argument("--vms", type=int, default=10)
+    p.add_argument("--duration", type=float, default=0.6)
+    p.add_argument("--warmup", type=float, default=0.8)
+    p.set_defaults(func=cmd_latency)
+
+    p = sub.add_parser("demo", help="30-second merge demo")
+    p.add_argument("--vms", type=int, default=2)
+    p.add_argument("--seed", type=int, default=7)
+    p.set_defaults(func=cmd_demo)
+
+    p = sub.add_parser("config", help="print Table 2 configuration")
+    p.set_defaults(func=cmd_config)
+    return parser
+
+
+def main(argv=None):
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,71 @@
+"""Shared substrate: units, configuration, deterministic RNG, bit helpers.
+
+Every subsystem in the reproduction draws its architectural parameters from
+:mod:`repro.common.config`, which encodes Table 2 (architecture) and Table 3
+(application QPS) of the paper.
+"""
+
+from repro.common.bitops import (
+    bit_count,
+    extract_bits,
+    parity,
+    set_bit,
+    test_bit,
+)
+from repro.common.config import (
+    ApplicationConfig,
+    CacheConfig,
+    DRAMConfig,
+    KSMConfig,
+    MachineConfig,
+    PageForgeConfig,
+    ProcessorConfig,
+    TAILBENCH_APPS,
+    VirtualizationConfig,
+    default_machine_config,
+)
+from repro.common.rng import DeterministicRNG, derive_rng
+from repro.common.units import (
+    CACHE_LINE_BYTES,
+    ECC_CODE_BYTES_PER_LINE,
+    KIB,
+    GIB,
+    MIB,
+    PAGE_BYTES,
+    LINES_PER_PAGE,
+    bytes_to_gib,
+    cycles_to_seconds,
+    gbps,
+    seconds_to_cycles,
+)
+
+__all__ = [
+    "ApplicationConfig",
+    "CacheConfig",
+    "CACHE_LINE_BYTES",
+    "DeterministicRNG",
+    "DRAMConfig",
+    "ECC_CODE_BYTES_PER_LINE",
+    "GIB",
+    "KIB",
+    "KSMConfig",
+    "LINES_PER_PAGE",
+    "MachineConfig",
+    "MIB",
+    "PAGE_BYTES",
+    "PageForgeConfig",
+    "ProcessorConfig",
+    "TAILBENCH_APPS",
+    "VirtualizationConfig",
+    "bit_count",
+    "bytes_to_gib",
+    "cycles_to_seconds",
+    "default_machine_config",
+    "derive_rng",
+    "extract_bits",
+    "gbps",
+    "parity",
+    "seconds_to_cycles",
+    "set_bit",
+    "test_bit",
+]

@@ -1,0 +1,32 @@
+"""Small bit-manipulation helpers used by the ECC codec and hash keys."""
+
+
+def bit_count(value):
+    """Number of set bits in a non-negative integer."""
+    if value < 0:
+        raise ValueError("bit_count requires a non-negative integer")
+    return bin(value).count("1")
+
+
+def parity(value):
+    """Even parity of a non-negative integer: 1 if an odd number of bits set."""
+    return bit_count(value) & 1
+
+
+def test_bit(value, index):
+    """True if bit ``index`` (0-based, LSB first) of ``value`` is set."""
+    return (value >> index) & 1 == 1
+
+
+def set_bit(value, index, bit=1):
+    """Return ``value`` with bit ``index`` set to ``bit`` (0 or 1)."""
+    if bit:
+        return value | (1 << index)
+    return value & ~(1 << index)
+
+
+def extract_bits(value, offset, width):
+    """Extract ``width`` bits of ``value`` starting at bit ``offset``."""
+    if width < 0 or offset < 0:
+        raise ValueError("offset and width must be non-negative")
+    return (value >> offset) & ((1 << width) - 1)

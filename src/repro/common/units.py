@@ -1,0 +1,51 @@
+"""Units and fixed architectural constants.
+
+The paper's system uses 4 KB pages, 64 B cache lines, and 8 B of ECC per
+line ((72,64) SECDED per 64-bit word, eight words per line).  These constants
+are used consistently by the memory, cache, ECC, KSM, and PageForge models.
+"""
+
+KIB = 1024
+MIB = 1024 * KIB
+GIB = 1024 * MIB
+
+#: Page size in bytes (4 KB pages, as in the paper's x86-64 setup).
+PAGE_BYTES = 4 * KIB
+
+#: Cache line size in bytes (Table 2: 64 B lines at every level).
+CACHE_LINE_BYTES = 64
+
+#: Number of cache lines per page.
+LINES_PER_PAGE = PAGE_BYTES // CACHE_LINE_BYTES
+
+#: ECC bytes stored per cache line: (72,64) SECDED = 8 check bits per
+#: 64 data bits; a 64 B line holds eight 64-bit words, hence 8 B of ECC.
+ECC_CODE_BYTES_PER_LINE = 8
+
+#: Sections a page is divided into for ECC-based hash keys (Figure 6).
+HASH_SECTIONS_PER_PAGE = 4
+
+#: Bytes of each section (4 KB page / 4 sections).
+HASH_SECTION_BYTES = PAGE_BYTES // HASH_SECTIONS_PER_PAGE
+
+
+def seconds_to_cycles(seconds, frequency_hz):
+    """Convert wall-clock seconds to clock cycles at ``frequency_hz``."""
+    return int(round(seconds * frequency_hz))
+
+
+def cycles_to_seconds(cycles, frequency_hz):
+    """Convert clock cycles at ``frequency_hz`` to wall-clock seconds."""
+    return cycles / float(frequency_hz)
+
+
+def bytes_to_gib(n_bytes):
+    """Convert a byte count to GiB (float)."""
+    return n_bytes / float(GIB)
+
+
+def gbps(n_bytes, seconds):
+    """Average bandwidth in GB/s (decimal GB, as in the paper's Figure 11)."""
+    if seconds <= 0:
+        return 0.0
+    return n_bytes / seconds / 1e9

@@ -1,0 +1,332 @@
+"""OS-side PageForge drivers (Sections 3.4, 3.6, and 4.2).
+
+``PageForgeTreeStrategy`` runs KSM's red-black-tree searches on the
+hardware: it loads the root and the next four tree levels breadth-first
+into the Scan Table (31 entries), triggers the engine, and refills from
+the subtree where the walk fell off until a duplicate is found or the
+search genuinely misses.  Plugged into :class:`repro.ksm.KSMDaemon` as its
+``search_strategy`` (with the ECC hash key as its ``checksum_fn``), the
+*same* KSM algorithm runs with all three hardware-accelerated primitives.
+
+``ArbitrarySetStrategy`` demonstrates the generality argument of
+Section 4.2: every entry's Less and More point at the *next* entry, so the
+candidate is compared against an arbitrary page set; the same machinery
+walks an explicit page graph.
+"""
+
+from dataclasses import dataclass
+
+from repro.common.config import KSMConfig, PageForgeConfig
+from repro.core.api import PageForgeAPI
+from repro.core.engine import PageForgeEngine
+from repro.core.scan_table import (
+    decode_miss_sentinel,
+    is_miss_sentinel,
+    miss_sentinel,
+)
+from repro.ksm.daemon import KSMDaemon, StaleNodeError
+from repro.ksm.rbtree import WalkOutcome
+
+
+@dataclass
+class _Batch:
+    """One Scan-Table load: nodes plus their index mapping."""
+
+    nodes: list
+    is_last: bool  # no out-of-batch children anywhere -> L bit
+
+
+class PageForgeTreeStrategy:
+    """Hardware red-black-tree walks over the Scan Table."""
+
+    def __init__(self, api, hypervisor):
+        self.api = api
+        self.hypervisor = hypervisor
+        self.engine = api.engine
+        self.now = 0.0  # simulation time for bandwidth accounting
+        self.cycles_consumed = 0  # engine cycles since last drain
+        self.table_refills = 0
+        self._freq = api.engine.controller.dram.cpu_frequency_hz
+
+    # Node helpers -------------------------------------------------------------------
+
+    def _node_ppn(self, node):
+        """Resolve a tree node to its current PPN; stale nodes raise."""
+        node.key()  # raises StaleNodeError if the backing page vanished
+        payload = node.payload
+        if payload[0] == "stable":
+            return payload[1]
+        if payload[0] == "unstable":
+            _tag, vm_id, gpn = payload
+            return self.hypervisor.vms[vm_id].mapping(gpn).ppn
+        raise ValueError(f"unknown node payload: {payload!r}")
+
+    # Batch construction ----------------------------------------------------------------
+
+    def _load_batch(self, tree, start_node):
+        """Breadth-first load of root + four levels (31 entries).
+
+        Every child pointer either names another in-batch index or a miss
+        sentinel encoding (entry, direction), so the OS can always decode
+        where the hardware walk stopped.
+        """
+        capacity = self.api.table.n_entries
+        nodes = []
+        frontier = [start_node]
+        while frontier and len(nodes) < capacity:
+            node = frontier.pop(0)
+            nodes.append(node)
+            left, right = tree.children(node)
+            if left is not None:
+                frontier.append(left)
+            if right is not None:
+                frontier.append(right)
+        index_of = {id(node): i for i, node in enumerate(nodes)}
+
+        self.api.clear_entries()
+        is_last = True
+        for i, node in enumerate(nodes):
+            left, right = tree.children(node)
+            if left is not None and id(left) in index_of:
+                less = index_of[id(left)]
+            else:
+                less = miss_sentinel(i, "left")
+                if left is not None:
+                    is_last = False
+            if right is not None and id(right) in index_of:
+                more = index_of[id(right)]
+            else:
+                more = miss_sentinel(i, "right")
+                if right is not None:
+                    is_last = False
+            self.api.insert_PPN(i, self._node_ppn(node), less, more)
+        self.table_refills += 1
+        return _Batch(nodes=nodes, is_last=is_last)
+
+    def _trigger(self):
+        """Run the engine and advance the local clock by its cycles."""
+        cycles = self.api.trigger(self.now)
+        self.cycles_consumed += cycles
+        self.now += cycles / self._freq
+        return cycles
+
+    # The walk --------------------------------------------------------------------------
+
+    def walk(self, tree, frame):
+        """Search ``tree`` for ``frame``'s contents using the hardware.
+
+        Returns a :class:`WalkOutcome` compatible with the software walk:
+        comparisons/bytes reflect work done *by the hardware*, so the
+        daemon can report them without charging CPU cycles.
+        """
+        stats = self.engine.stats
+        comps_before = stats.page_comparisons
+        pairs_before = stats.line_pairs_compared
+
+        candidate_ppn = frame.ppn
+        pfe = self.api.table.pfe
+        same_candidate = pfe.valid and pfe.ppn == candidate_ppn
+
+        if len(tree) == 0:
+            # Nothing to compare, but the hash key must still be produced
+            # (stable-tree search generates it in the background).
+            self.api.clear_entries()
+            if same_candidate:
+                self.api.update_PFE(last_refill=True, ptr=0)
+            else:
+                self.api.insert_PFE(candidate_ppn, last_refill=True, ptr=0)
+            self._trigger()
+            return WalkOutcome(
+                match=None, parent=None, direction="root",
+                comparisons=0, bytes_compared=0,
+            )
+
+        start = tree.root
+        first_trigger = True
+        while True:
+            batch = self._load_batch(tree, start)
+            if first_trigger and not same_candidate:
+                self.api.insert_PFE(
+                    candidate_ppn, last_refill=batch.is_last, ptr=0
+                )
+            else:
+                self.api.update_PFE(last_refill=batch.is_last, ptr=0)
+            first_trigger = False
+            self._trigger()
+            info = self.api.get_PFE_info()
+            if not info.scanned:
+                raise RuntimeError("engine returned without Scanned set")
+
+            comparisons = stats.page_comparisons - comps_before
+            bytes_compared = (
+                stats.line_pairs_compared - pairs_before
+            ) * 64
+
+            if info.duplicate:
+                match = batch.nodes[info.ptr]
+                return WalkOutcome(
+                    match=match, parent=None, direction="root",
+                    comparisons=comparisons, bytes_compared=bytes_compared,
+                )
+
+            if not is_miss_sentinel(info.ptr):
+                raise RuntimeError(
+                    f"walk stopped at unexpected Ptr {info.ptr}"
+                )
+            entry_index, direction = decode_miss_sentinel(info.ptr)
+            stopped_at = batch.nodes[entry_index]
+            left, right = tree.children(stopped_at)
+            child = left if direction == "left" else right
+            if child is None:
+                # Genuine miss: insertion point is (stopped_at, direction).
+                return WalkOutcome(
+                    match=None, parent=stopped_at, direction=direction,
+                    comparisons=comparisons, bytes_compared=bytes_compared,
+                )
+            start = child  # refill from the out-of-batch subtree
+
+    # Hash keys ------------------------------------------------------------------------
+
+    def checksum(self, frame):
+        """The candidate's ECC hash key, as produced by the hardware.
+
+        The key is assembled during the stable-tree walk; if no walk has
+        run for this frame yet (e.g. checksum queried standalone), a
+        trivial empty-table scan with Last-Refill forces its generation.
+        """
+        pfe = self.api.table.pfe
+        if not (pfe.valid and pfe.ppn == frame.ppn and pfe.hash_ready):
+            self.api.clear_entries()
+            if pfe.valid and pfe.ppn == frame.ppn:
+                self.api.update_PFE(last_refill=True, ptr=0)
+            else:
+                self.api.insert_PFE(frame.ppn, last_refill=True, ptr=0)
+            self._trigger()
+        info = self.api.get_PFE_info()
+        if not info.hash_ready:
+            raise RuntimeError("hash key not ready after forced completion")
+        return info.hash_key
+
+    def drain_cycles(self):
+        """Engine cycles consumed since the last drain (for the sim)."""
+        cycles = self.cycles_consumed
+        self.cycles_consumed = 0
+        return cycles
+
+
+class ArbitrarySetStrategy:
+    """Section 4.2: compare a candidate against an arbitrary page set."""
+
+    def __init__(self, api):
+        self.api = api
+
+    def scan_set(self, candidate_ppn, ppns, time_seconds=0.0):
+        """Compare ``candidate_ppn`` against ``ppns`` in order.
+
+        Returns the first matching PPN, or None.  Each entry's Less and
+        More both point at the next entry, so all pages are visited
+        regardless of comparison outcomes; batches of table size chain
+        via refills.
+        """
+        capacity = self.api.table.n_entries
+        ppns = list(ppns)
+        first = True
+        for batch_start in range(0, len(ppns), capacity):
+            batch = ppns[batch_start : batch_start + capacity]
+            is_last = batch_start + capacity >= len(ppns)
+            self.api.clear_entries()
+            for i, ppn in enumerate(batch):
+                nxt = i + 1 if i + 1 < len(batch) else miss_sentinel(i, "right")
+                self.api.insert_PPN(i, ppn, less=nxt, more=nxt)
+            if first:
+                self.api.insert_PFE(candidate_ppn, last_refill=is_last, ptr=0)
+                first = False
+            else:
+                self.api.update_PFE(last_refill=is_last, ptr=0)
+            self.api.trigger(time_seconds)
+            info = self.api.get_PFE_info()
+            if info.duplicate:
+                return batch[info.ptr]
+        return None
+
+    def scan_graph(self, candidate_ppn, graph, start, time_seconds=0.0,
+                   max_steps=10_000):
+        """Walk an explicit page graph (Section 4.2's generality case).
+
+        ``graph`` maps each node id to ``(ppn, less_target, more_target)``
+        where targets are node ids or None.  The hardware follows Less on
+        "candidate smaller" and More on "candidate larger", one batch per
+        step window.  Returns the node id whose page matched, or None.
+        """
+        current = start
+        first = True
+        steps = 0
+        while current is not None and steps < max_steps:
+            # Load a single-entry batch for the current graph node; the
+            # Less/More sentinels tell us which way the hardware went.
+            ppn, less_target, more_target = graph[current]
+            self.api.clear_entries()
+            self.api.insert_PPN(
+                0, ppn,
+                less=miss_sentinel(0, "left"),
+                more=miss_sentinel(0, "right"),
+            )
+            if first:
+                self.api.insert_PFE(candidate_ppn, last_refill=False, ptr=0)
+                first = False
+            else:
+                self.api.update_PFE(last_refill=False, ptr=0)
+            self.api.trigger(time_seconds)
+            info = self.api.get_PFE_info()
+            if info.duplicate:
+                return current
+            _idx, direction = decode_miss_sentinel(info.ptr)
+            current = less_target if direction == "left" else more_target
+            steps += 1
+        return None
+
+
+class PageForgeMergeDriver:
+    """Top-level driver: KSM's algorithm on PageForge hardware.
+
+    Owns the engine + API + tree strategy and a :class:`KSMDaemon` wired
+    to them.  ``scan_pages``/``run_to_steady_state`` mirror the daemon's
+    interface; ``drain_engine_cycles`` exposes hardware time to the
+    simulator.
+    """
+
+    def __init__(self, hypervisor, controller, bus=None, ksm_config=None,
+                 pf_config=None, line_sampling=1):
+        self.config = pf_config or PageForgeConfig()
+        self.engine = PageForgeEngine(controller, bus=bus, config=self.config,
+                                      line_sampling=line_sampling)
+        self.api = PageForgeAPI(self.engine)
+        self.strategy = PageForgeTreeStrategy(self.api, hypervisor)
+        self.daemon = KSMDaemon(
+            hypervisor,
+            config=ksm_config or KSMConfig(),
+            search_strategy=self.strategy,
+            checksum_fn=self.strategy.checksum,
+            checksum_bytes=64 * len(self.config.ecc_hash_line_offsets),
+        )
+
+    @property
+    def stats(self):
+        return self.daemon.stats
+
+    @property
+    def hw_stats(self):
+        return self.engine.stats
+
+    def scan_pages(self, n_pages=None, now=0.0):
+        """One work interval at simulation time ``now``."""
+        self.strategy.now = now
+        return self.daemon.scan_pages(n_pages)
+
+    def run_to_steady_state(self, max_passes=10, min_passes=2):
+        return self.daemon.run_to_steady_state(
+            max_passes=max_passes, min_passes=min_passes
+        )
+
+    def drain_engine_cycles(self):
+        return self.strategy.drain_cycles()

@@ -1,0 +1,64 @@
+"""A core as a timed FIFO resource."""
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class CoreStats:
+    """Busy-time accounting for one core."""
+
+    query_busy_s: float = 0.0
+    kernel_busy_s: float = 0.0
+    queries_served: int = 0
+    kernel_slices: int = 0
+
+    def utilization(self, elapsed_s):
+        if elapsed_s <= 0:
+            return 0.0
+        return (self.query_busy_s + self.kernel_busy_s) / elapsed_s
+
+    def kernel_share(self, elapsed_s):
+        """Fraction of wall time spent in kernel work (Table 4 col 2)."""
+        if elapsed_s <= 0:
+            return 0.0
+        return self.kernel_busy_s / elapsed_s
+
+
+class Core:
+    """One out-of-order core, modelled as a FIFO server.
+
+    Work items (application queries, KSM scan intervals, OS driver
+    slices) are serialised: an item arriving at ``t`` starts at
+    ``max(t, next_free)``.  This captures the queueing that turns KSM's
+    CPU steal into sojourn-latency growth without modelling preemption.
+    """
+
+    def __init__(self, core_id, frequency_hz=2e9):
+        self.core_id = core_id
+        self.frequency_hz = float(frequency_hz)
+        self.next_free = 0.0
+        self.stats = CoreStats()
+
+    def run_query(self, arrival_s, service_s):
+        """Schedule a query; returns (start_s, completion_s)."""
+        start = max(arrival_s, self.next_free)
+        completion = start + service_s
+        self.next_free = completion
+        self.stats.query_busy_s += service_s
+        self.stats.queries_served += 1
+        return start, completion
+
+    def run_kernel_work(self, ready_s, duration_s):
+        """Schedule a kernel-task slice; returns (start_s, completion_s)."""
+        start = max(ready_s, self.next_free)
+        completion = start + duration_s
+        self.next_free = completion
+        self.stats.kernel_busy_s += duration_s
+        self.stats.kernel_slices += 1
+        return start, completion
+
+    def cycles_to_seconds(self, cycles):
+        return cycles / self.frequency_hz
+
+    def __repr__(self):
+        return f"Core(id={self.core_id}, next_free={self.next_free:.6f})"

@@ -1,0 +1,44 @@
+"""ECC substrate: (72,64) Hamming SECDED codec and the MC's ECC engine.
+
+The paper's memory controller protects every 64 data bits with 8 ECC bits
+(Section 2.2), i.e. each 64 B cache line carries an 8 B ECC code.  PageForge
+repurposes these codes as hash-key material (Section 3.3): the low bits of
+the ECC codes of a few fixed-offset lines form the page's hash key.
+
+This package implements the code for real: encoding, syndrome decoding,
+single-error correction, and double-error detection, all vectorised so
+whole pages can be encoded at once.
+"""
+
+from repro.ecc.engine import ECCEngine, ECCEngineStats
+from repro.ecc.hamming import (
+    CHECK_BITS,
+    CODEWORD_BITS,
+    DATA_BITS,
+    DecodeOutcome,
+    DecodeStatus,
+    decode_word,
+    decode_words,
+    encode_line,
+    encode_page,
+    encode_word,
+    encode_words,
+    inject_error,
+)
+
+__all__ = [
+    "CHECK_BITS",
+    "CODEWORD_BITS",
+    "DATA_BITS",
+    "DecodeOutcome",
+    "DecodeStatus",
+    "ECCEngine",
+    "ECCEngineStats",
+    "decode_word",
+    "decode_words",
+    "encode_line",
+    "encode_page",
+    "encode_word",
+    "encode_words",
+    "inject_error",
+]

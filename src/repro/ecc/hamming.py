@@ -1,0 +1,220 @@
+"""A real (72,64) Hamming SECDED code.
+
+Construction: a (71,64) Hamming code (seven check bits at the power-of-two
+positions of a 1-based 71-position layout, 64 data positions elsewhere)
+extended with one overall-parity bit, yielding single-error correction and
+double-error detection over 72-bit codewords.  This matches the paper's
+description of a "truncated version of the (127,120) Hamming code with the
+addition of a parity bit" (Section 6.2).
+
+A 64 B cache line holds eight 64-bit data words, so its ECC code is eight
+check bytes (8 B), exactly the DIMM layout of Figure 4 (an 8-bit ECC chip
+alongside eight 8-bit data chips).
+
+All hot paths are vectorised over numpy ``uint64`` arrays.
+"""
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.units import CACHE_LINE_BYTES, PAGE_BYTES
+
+DATA_BITS = 64
+HAMMING_CHECK_BITS = 7
+CHECK_BITS = 8  # seven Hamming checks + one overall parity
+CODEWORD_BITS = DATA_BITS + CHECK_BITS
+
+_WORDS_PER_LINE = CACHE_LINE_BYTES // 8
+_LINES_PER_PAGE = PAGE_BYTES // CACHE_LINE_BYTES
+
+
+def _build_layout():
+    """Map data bits to Hamming positions and derive check-bit masks.
+
+    Returns ``(positions, check_masks)`` where ``positions[i]`` is the
+    1-based Hamming position of data bit ``i`` (the i-th non-power-of-two
+    position in 1..71) and ``check_masks[k]`` is a 64-bit mask over *data*
+    bits covered by check bit ``k``.
+    """
+    positions = []
+    p = 1
+    while len(positions) < DATA_BITS:
+        if p & (p - 1) != 0:  # not a power of two -> data position
+            positions.append(p)
+        p += 1
+    if positions[-1] > 71:
+        raise AssertionError("(72,64) layout exceeded 71 Hamming positions")
+
+    check_masks = []
+    for k in range(HAMMING_CHECK_BITS):
+        mask = 0
+        for i, pos in enumerate(positions):
+            if (pos >> k) & 1:
+                mask |= 1 << i
+        check_masks.append(mask)
+    return positions, check_masks
+
+
+_POSITIONS, _CHECK_MASKS = _build_layout()
+#: Inverse map: Hamming position -> data bit index (or -1 for check bits).
+_POSITION_TO_DATA_BIT = np.full(72, -1, dtype=np.int64)
+for _i, _p in enumerate(_POSITIONS):
+    _POSITION_TO_DATA_BIT[_p] = _i
+
+_CHECK_MASKS_U64 = np.array(_CHECK_MASKS, dtype=np.uint64)
+
+_M1 = np.uint64(0x5555555555555555)
+_M2 = np.uint64(0x3333333333333333)
+_M4 = np.uint64(0x0F0F0F0F0F0F0F0F)
+_H01 = np.uint64(0x0101010101010101)
+
+
+def _popcount_u64(words):
+    """Vectorised 64-bit popcount (classic SWAR) for ``uint64`` arrays."""
+    w = words.astype(np.uint64, copy=True)
+    w -= (w >> np.uint64(1)) & _M1
+    w = (w & _M2) + ((w >> np.uint64(2)) & _M2)
+    w = (w + (w >> np.uint64(4))) & _M4
+    return ((w * _H01) >> np.uint64(56)).astype(np.uint8)
+
+
+def encode_words(words):
+    """ECC check bytes for an array of 64-bit data words.
+
+    Parameters
+    ----------
+    words:
+        ``uint64`` numpy array of any shape.
+
+    Returns
+    -------
+    ``uint8`` array of the same shape: bit k (k<7) is Hamming check k,
+    bit 7 is the overall parity of the full 72-bit codeword.
+    """
+    words = np.asarray(words, dtype=np.uint64)
+    checks = np.zeros(words.shape, dtype=np.uint8)
+    for k in range(HAMMING_CHECK_BITS):
+        bit = _popcount_u64(words & _CHECK_MASKS_U64[k]) & 1
+        checks |= (bit << k).astype(np.uint8)
+    # Overall parity covers all data bits and the seven Hamming checks.
+    data_parity = _popcount_u64(words) & 1
+    check_parity = _popcount_u64(checks.astype(np.uint64)) & 1
+    overall = (data_parity ^ check_parity) & 1
+    checks |= (overall << 7).astype(np.uint8)
+    return checks
+
+
+def encode_word(word):
+    """ECC check byte (int) for a single 64-bit data word."""
+    return int(encode_words(np.array([word], dtype=np.uint64))[0])
+
+
+class DecodeStatus(enum.Enum):
+    """Outcome classes of SECDED decoding."""
+
+    OK = "ok"
+    CORRECTED = "corrected-single-bit"
+    PARITY_BIT_ERROR = "corrected-parity-bit"
+    UNCORRECTABLE = "detected-uncorrectable"
+
+
+@dataclass(frozen=True)
+class DecodeOutcome:
+    """Result of decoding one 72-bit codeword."""
+
+    status: DecodeStatus
+    word: int
+    flipped_bit: int = -1  # corrected data-bit index, -1 if none
+
+
+def decode_word(word, check):
+    """SECDED-decode one word against its stored check byte.
+
+    Returns a :class:`DecodeOutcome`.  Single-bit errors in the data or in
+    a check bit are corrected; double-bit errors are flagged
+    :data:`DecodeStatus.UNCORRECTABLE`.
+    """
+    word = int(word) & ((1 << 64) - 1)
+    check = int(check) & 0xFF
+    expected = encode_words(np.array([word], dtype=np.uint64))[0]
+    syndrome = 0
+    for k in range(HAMMING_CHECK_BITS):
+        s = ((int(expected) >> k) ^ (check >> k)) & 1
+        syndrome |= s << k
+    # Overall parity over the received 72 bits.
+    received_parity = (
+        bin(word).count("1") + bin(check).count("1")
+    ) & 1
+    if syndrome == 0 and received_parity == 0:
+        return DecodeOutcome(DecodeStatus.OK, word)
+    if syndrome == 0 and received_parity == 1:
+        # The overall-parity bit itself flipped; data is intact.
+        return DecodeOutcome(DecodeStatus.PARITY_BIT_ERROR, word)
+    if received_parity == 1:
+        # Single-bit error at Hamming position ``syndrome``.
+        if syndrome < 72:
+            data_bit = int(_POSITION_TO_DATA_BIT[syndrome])
+            if data_bit >= 0:
+                corrected = word ^ (1 << data_bit)
+                return DecodeOutcome(
+                    DecodeStatus.CORRECTED, corrected, flipped_bit=data_bit
+                )
+            # Error in a check bit: data is intact.
+            return DecodeOutcome(DecodeStatus.CORRECTED, word)
+        return DecodeOutcome(DecodeStatus.UNCORRECTABLE, word)
+    # Non-zero syndrome with even parity: double-bit error.
+    return DecodeOutcome(DecodeStatus.UNCORRECTABLE, word)
+
+
+def decode_words(words, checks):
+    """Vectorised decode of many words; returns list of DecodeOutcome."""
+    words = np.asarray(words, dtype=np.uint64).ravel()
+    checks = np.asarray(checks, dtype=np.uint8).ravel()
+    if words.shape != checks.shape:
+        raise ValueError("words and checks must have matching shapes")
+    expected = encode_words(words)
+    clean = expected == checks
+    outcomes = []
+    for i in range(words.size):
+        if clean[i]:
+            outcomes.append(DecodeOutcome(DecodeStatus.OK, int(words[i])))
+        else:
+            outcomes.append(decode_word(int(words[i]), int(checks[i])))
+    return outcomes
+
+
+def inject_error(word, check, bit_index):
+    """Flip codeword bit ``bit_index`` (0..63 data, 64..71 check bits)."""
+    word = int(word)
+    check = int(check)
+    if 0 <= bit_index < 64:
+        return word ^ (1 << bit_index), check
+    if 64 <= bit_index < CODEWORD_BITS:
+        return word, check ^ (1 << (bit_index - 64))
+    raise ValueError(f"bit_index out of range: {bit_index}")
+
+
+def _as_words(buffer, expected_bytes, what):
+    buf = np.asarray(buffer, dtype=np.uint8)
+    if buf.size != expected_bytes:
+        raise ValueError(f"{what} must be {expected_bytes} bytes, got {buf.size}")
+    return np.ascontiguousarray(buf).view(np.uint64)
+
+
+def encode_line(line_bytes):
+    """8-byte ECC code for one 64 B cache line (little-endian words)."""
+    words = _as_words(line_bytes, CACHE_LINE_BYTES, "cache line")
+    return encode_words(words)  # eight check bytes
+
+
+def encode_page(page_bytes):
+    """Per-line ECC codes of a full 4 KB page.
+
+    Returns a ``(64, 8) uint8`` array: row ``i`` is the ECC code of line
+    ``i`` of the page.
+    """
+    words = _as_words(page_bytes, PAGE_BYTES, "page")
+    checks = encode_words(words)
+    return checks.reshape(_LINES_PER_PAGE, _WORDS_PER_LINE)

@@ -1,0 +1,370 @@
+"""RedHat's Kernel Same-page Merging daemon — Algorithm 1, faithfully.
+
+The daemon runs in passes over every ``MADV_MERGEABLE`` page.  For each
+candidate it (1) searches the stable tree and merges on a hit; otherwise
+(2) re-computes the 1 KB jhash2 checksum and drops the page if it changed
+since the previous pass; otherwise (3) searches the unstable tree, merging
+on a hit (the merged page then moves, CoW-protected, into the stable tree)
+or inserting the candidate on a miss.  The unstable tree is destroyed at
+the end of every pass.
+
+Work quantities (bytes compared, bytes hashed, pages scanned) are recorded
+per interval so the timing model can charge the daemon's CPU time and
+cache pollution to the core it currently occupies (Table 4).
+"""
+
+from collections import deque
+from dataclasses import dataclass, fields
+
+from repro.common.config import KSMConfig
+from repro.ksm.jhash import page_checksum
+from repro.ksm.rbtree import ContentRBTree, RBNode
+from repro.virt.hypervisor import MergeRollback
+
+
+class StaleNodeError(Exception):
+    """A tree node whose backing page vanished or was remapped."""
+
+
+@dataclass
+class KSMWorkStats:
+    """Work done by the daemon (one interval, or cumulative)."""
+
+    pages_scanned: int = 0
+    stable_matches: int = 0
+    unstable_matches: int = 0
+    merges: int = 0
+    merge_rollbacks: int = 0
+    unstable_inserts: int = 0
+    pages_changed: int = 0
+    first_seen: int = 0
+    checksums_computed: int = 0
+    checksum_bytes: int = 0
+    checksum_matches: int = 0
+    checksum_mismatches: int = 0
+    comparisons: int = 0
+    bytes_compared: int = 0
+    merge_verify_bytes: int = 0
+    passes_completed: int = 0
+    stale_nodes_pruned: int = 0
+
+    def accumulate(self, other):
+        for f in fields(self):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+
+    @property
+    def total_bytes_touched(self):
+        """All page bytes streamed through the core's caches."""
+        # Comparisons read both pages; checksums read one.
+        return 2 * self.bytes_compared + self.checksum_bytes
+
+
+@dataclass
+class KSMPassStats:
+    """Summary of one complete pass over the mergeable set."""
+
+    pass_index: int
+    candidates: int
+    merges: int
+    footprint_pages: int
+
+
+class _NullCostSink:
+    """Cost sink that ignores everything (pure functional runs)."""
+
+    def on_walk(self, candidate_ppn, outcome):
+        pass
+
+    def on_hash_bytes(self, ppn, n_bytes):
+        pass
+
+    def on_merge_verify(self, ppn_a, ppn_b, n_bytes):
+        pass
+
+
+@dataclass
+class _Candidate:
+    vm_id: int
+    gpn: int
+
+
+class KSMDaemon:
+    """The KSM kernel thread (one per system, as in Linux)."""
+
+    def __init__(self, hypervisor, config=None, cost_sink=None,
+                 search_strategy=None, checksum_fn=None, checksum_bytes=None):
+        self.hypervisor = hypervisor
+        self.config = config or KSMConfig()
+        self.cost_sink = cost_sink or _NullCostSink()
+        # Strategy hooks: PageForge substitutes hardware tree walks and
+        # ECC-based hash keys while reusing this exact algorithm
+        # (Section 3.4).  None = software (jhash2 over 1 KB).
+        self.search_strategy = search_strategy
+        self.checksum_fn = checksum_fn or (
+            lambda frame: page_checksum(
+                frame.data, n_bytes=self.config.hash_bytes
+            )
+        )
+        self.checksum_bytes_cost = (
+            checksum_bytes if checksum_bytes is not None
+            else self.config.hash_bytes
+        )
+        self.stable_tree = ContentRBTree("stable")
+        self.unstable_tree = ContentRBTree("unstable")
+        self.stats = KSMWorkStats()
+        self.pass_history = []
+        self._checksums = {}
+        self._pass_queue = deque()
+        self._pass_index = 0
+        self.total_merges = 0
+        self._pass_merges_at_start = 0
+
+    # Node construction -----------------------------------------------------------
+
+    def _stable_key_fn(self, ppn):
+        memory = self.hypervisor.memory
+
+        def key():
+            if not memory.is_allocated(ppn):
+                raise StaleNodeError(f"stable PPN {ppn} freed")
+            return memory.frame(ppn).data
+
+        return key
+
+    def _unstable_key_fn(self, vm_id, gpn):
+        hyp = self.hypervisor
+
+        def key():
+            vm = hyp.vms[vm_id]
+            if not vm.is_mapped(gpn):
+                raise StaleNodeError(f"VM{vm_id} GPN {gpn} unmapped")
+            mapping = vm.mapping(gpn)
+            if mapping.cow:
+                # Page got merged since insertion; node is stale.
+                raise StaleNodeError(f"VM{vm_id} GPN {gpn} became stable")
+            return hyp.memory.frame(mapping.ppn).data
+
+        return key
+
+    # Pass management ------------------------------------------------------------
+
+    def _build_pass_queue(self):
+        queue = deque()
+        for vm in self.hypervisor.vms.values():
+            for mapping in vm.mergeable_mappings():
+                queue.append(_Candidate(vm.vm_id, mapping.gpn))
+        return queue
+
+    def _end_pass(self):
+        self.pass_history.append(
+            KSMPassStats(
+                pass_index=self._pass_index,
+                candidates=len(self._build_pass_queue()),
+                merges=self.total_merges - self._pass_merges_at_start,
+                footprint_pages=self.hypervisor.footprint_pages(),
+            )
+        )
+        self.unstable_tree.reset()
+        self._pass_index += 1
+        self._pass_merges_at_start = self.total_merges
+
+    # Tree search with stale pruning ------------------------------------------------
+
+    def _walk_pruning(self, tree, frame, interval):
+        """Walk a tree, pruning nodes whose backing page went stale."""
+        while True:
+            try:
+                if self.search_strategy is not None:
+                    outcome = self.search_strategy.walk(tree, frame)
+                else:
+                    outcome = tree.walk(frame.data)
+                interval.comparisons += outcome.comparisons
+                interval.bytes_compared += outcome.bytes_compared
+                return outcome
+            except StaleNodeError:
+                self._prune_stale(tree)
+                interval.stale_nodes_pruned += 1
+
+    def _prune_stale(self, tree):
+        for node in list(tree):
+            try:
+                node.key()
+            except StaleNodeError:
+                tree.remove(node)
+
+    # The algorithm (Algorithm 1) ---------------------------------------------------
+
+    def scan_pages(self, n_pages=None):
+        """Process up to ``pages_to_scan`` candidates (one work interval).
+
+        Returns a :class:`KSMWorkStats` describing just this interval; the
+        same quantities accumulate into ``self.stats``.
+        """
+        if n_pages is None:
+            n_pages = self.config.pages_to_scan
+        interval = KSMWorkStats()
+        processed = 0.0
+        while processed < n_pages:
+            if not self._pass_queue:
+                self._pass_queue = self._build_pass_queue()
+                if not self._pass_queue:
+                    break  # no mergeable pages at all (Algorithm line 3)
+            candidate = self._pass_queue.popleft()
+            scanned_before = interval.pages_scanned
+            self._process_candidate(candidate, interval)
+            # Already-merged (CoW) pages are skipped almost for free and
+            # barely dent the interval budget; genuinely scanned pages
+            # consume one unit each.
+            if interval.pages_scanned > scanned_before:
+                processed += 1.0
+            else:
+                processed += 0.1
+            if not self._pass_queue:
+                self._end_pass()
+                interval.passes_completed += 1
+        self.stats.accumulate(interval)
+        return interval
+
+    def _process_candidate(self, candidate, interval):
+        hyp = self.hypervisor
+        vm = hyp.vms.get(candidate.vm_id)
+        if vm is None or not vm.is_mapped(candidate.gpn):
+            return
+        mapping = vm.mapping(candidate.gpn)
+        if not mapping.mergeable or mapping.cow:
+            return  # already merged (stable) or opted out
+        frame = hyp.memory.frame(mapping.ppn)
+        candidate_bytes = frame.data
+        interval.pages_scanned += 1
+        ckey = (candidate.vm_id, candidate.gpn)
+
+        # --- Line 7: search the stable tree.
+        outcome = self._walk_pruning(self.stable_tree, frame, interval)
+        self._charge_walk(outcome, frame.ppn)
+        if outcome.match is not None:
+            self._merge_into_stable(vm, candidate, outcome.match, interval)
+            return
+
+        # --- Line 11: compute the per-page hash key (jhash2 over 1 KB
+        # in software KSM; the ECC-based key under PageForge).
+        new_hash = self.checksum_fn(frame)
+        interval.checksums_computed += 1
+        interval.checksum_bytes += self.checksum_bytes_cost
+        self.cost_sink.on_hash_bytes(frame.ppn, self.checksum_bytes_cost)
+        old_hash = self._checksums.get(ckey)
+        self._checksums[ckey] = new_hash
+
+        if old_hash is None:
+            interval.first_seen += 1
+            return  # first scan: drop the page (Algorithm line 22)
+        if old_hash != new_hash:
+            interval.checksum_mismatches += 1
+            interval.pages_changed += 1
+            return  # page was written; drop it
+        interval.checksum_matches += 1
+
+        # --- Line 13: search the unstable tree.
+        outcome = self._walk_pruning(self.unstable_tree, frame, interval)
+        self._charge_walk(outcome, frame.ppn)
+        if outcome.match is not None:
+            self._merge_unstable(vm, candidate, outcome.match, interval)
+        else:
+            node = RBNode(
+                self._unstable_key_fn(candidate.vm_id, candidate.gpn),
+                payload=("unstable", candidate.vm_id, candidate.gpn),
+            )
+            self.unstable_tree.insert_at(outcome, node)
+            interval.unstable_inserts += 1
+
+    def _charge_walk(self, outcome, candidate_ppn):
+        self.cost_sink.on_walk(candidate_ppn, outcome)
+
+    def _merge_into_stable(self, vm, candidate, stable_node, interval):
+        """Merge the candidate with an existing stable (CoW) frame."""
+        hyp = self.hypervisor
+        _tag, stable_ppn = stable_node.payload
+        sharers = hyp.sharers(stable_ppn)
+        if not sharers:
+            self.stable_tree.remove(stable_node)
+            interval.stale_nodes_pruned += 1
+            return
+        winner_vm_id, winner_gpn = next(iter(sharers))
+        winner_vm = hyp.vms[winner_vm_id]
+        candidate_ppn = vm.mapping(candidate.gpn).ppn
+        try:
+            # Final verified compare happens inside merge_pages.
+            n_bytes = len(hyp.memory.frame(stable_ppn).data)
+            interval.merge_verify_bytes += n_bytes
+            self.cost_sink.on_merge_verify(stable_ppn, candidate_ppn, n_bytes)
+            hyp.merge_pages(winner_vm, winner_gpn, vm, candidate.gpn)
+        except MergeRollback:
+            interval.merge_rollbacks += 1
+            return
+        interval.stable_matches += 1
+        interval.merges += 1
+        self.total_merges += 1
+
+    def _merge_unstable(self, vm, candidate, match_node, interval):
+        """Lines 14-17: merge with an unstable page, promote to stable."""
+        hyp = self.hypervisor
+        _tag, m_vm_id, m_gpn = match_node.payload
+        match_vm = hyp.vms.get(m_vm_id)
+        if match_vm is None or not match_vm.is_mapped(m_gpn):
+            self.unstable_tree.remove(match_node)
+            interval.stale_nodes_pruned += 1
+            return
+        match_mapping = match_vm.mapping(m_gpn)
+        try:
+            n_bytes = len(hyp.memory.frame(match_mapping.ppn).data)
+            interval.merge_verify_bytes += n_bytes
+            self.cost_sink.on_merge_verify(
+                match_mapping.ppn, vm.mapping(candidate.gpn).ppn, n_bytes
+            )
+            merged_ppn = hyp.merge_pages(match_vm, m_gpn, vm, candidate.gpn)
+        except MergeRollback:
+            # Racing write: the unstable node's content is unreliable.
+            self.unstable_tree.remove(match_node)
+            interval.merge_rollbacks += 1
+            return
+        # Remove from the unstable tree, insert into the stable tree.
+        self.unstable_tree.remove(match_node)
+        stable_node = RBNode(
+            self._stable_key_fn(merged_ppn), payload=("stable", merged_ppn)
+        )
+        insert_outcome = self.stable_tree.insert(stable_node)
+        interval.comparisons += insert_outcome.comparisons
+        interval.bytes_compared += insert_outcome.bytes_compared
+        interval.unstable_matches += 1
+        interval.merges += 1
+        self.total_merges += 1
+
+    # Introspection -------------------------------------------------------------
+
+    @property
+    def stable_pages(self):
+        return len(self.stable_tree)
+
+    @property
+    def unstable_pages(self):
+        return len(self.unstable_tree)
+
+    def run_to_steady_state(self, max_passes=10, min_passes=2):
+        """Run whole passes until merging stops making progress.
+
+        Used by the memory-savings experiments (Section 5.3 runs "until
+        the same-page merging algorithm reaches steady state").
+        """
+        last_footprint = None
+        for _ in range(max_passes):
+            queue_len = len(self._build_pass_queue())
+            # Process at least one full pass.
+            self.scan_pages(max(queue_len, 1))
+            footprint = self.hypervisor.footprint_pages()
+            if (
+                last_footprint is not None
+                and footprint == last_footprint
+                and self.stats.passes_completed >= min_passes
+            ):
+                break
+            last_footprint = footprint
+        return self.hypervisor.footprint_pages()

@@ -1,0 +1,99 @@
+"""Bob Jenkins' jhash2, as shipped in the Linux kernel (include/linux/jhash.h).
+
+KSM computes its per-page checksum as ``jhash2(page, 1024 / 4, 17)`` —
+i.e. over the first 1 KB of the page, with initval 17 (Section 2.1 /
+Figure 6 discussion).  We port the kernel routine exactly so hash-key
+match/mismatch behaviour (Figure 8) is faithful.
+"""
+
+import numpy as np
+
+_MASK32 = 0xFFFFFFFF
+JHASH_INITVAL = 0xDEADBEEF
+
+#: KSM hashes the first 1 KB of the page (256 32-bit words).
+KSM_CHECKSUM_BYTES = 1024
+#: Linux's calc_checksum uses initval 17.
+KSM_CHECKSUM_INITVAL = 17
+
+
+def _rol32(x, k):
+    x &= _MASK32
+    return ((x << k) | (x >> (32 - k))) & _MASK32
+
+
+def _mix(a, b, c):
+    a = (a - c) & _MASK32; a ^= _rol32(c, 4); c = (c + b) & _MASK32
+    b = (b - a) & _MASK32; b ^= _rol32(a, 6); a = (a + c) & _MASK32
+    c = (c - b) & _MASK32; c ^= _rol32(b, 8); b = (b + a) & _MASK32
+    a = (a - c) & _MASK32; a ^= _rol32(c, 16); c = (c + b) & _MASK32
+    b = (b - a) & _MASK32; b ^= _rol32(a, 19); a = (a + c) & _MASK32
+    c = (c - b) & _MASK32; c ^= _rol32(b, 4); b = (b + a) & _MASK32
+    return a, b, c
+
+
+def _final(a, b, c):
+    c ^= b; c = (c - _rol32(b, 14)) & _MASK32
+    a ^= c; a = (a - _rol32(c, 11)) & _MASK32
+    b ^= a; b = (b - _rol32(a, 25)) & _MASK32
+    c ^= b; c = (c - _rol32(b, 16)) & _MASK32
+    a ^= c; a = (a - _rol32(c, 4)) & _MASK32
+    b ^= a; b = (b - _rol32(a, 14)) & _MASK32
+    c ^= b; c = (c - _rol32(b, 24)) & _MASK32
+    return a, b, c
+
+
+def jhash2(words, initval=0):
+    """Hash an array of u32 words; returns a 32-bit integer.
+
+    ``words`` may be any sequence of ints or a numpy array; values are
+    treated modulo 2**32, exactly like the kernel's ``const u32 *k``.
+    """
+    arr = np.asarray(words).ravel()
+    if arr.dtype == np.uint32:
+        k = arr.tolist()  # C-speed conversion to Python ints
+    else:
+        k = [int(w) & _MASK32 for w in arr]
+    length = len(k)
+    a = b = c = (JHASH_INITVAL + (length << 2) + initval) & _MASK32
+    i = 0
+    while length > 3:
+        a = (a + k[i]) & _MASK32
+        b = (b + k[i + 1]) & _MASK32
+        c = (c + k[i + 2]) & _MASK32
+        a, b, c = _mix(a, b, c)
+        length -= 3
+        i += 3
+    if length == 3:
+        c = (c + k[i + 2]) & _MASK32
+    if length >= 2:
+        b = (b + k[i + 1]) & _MASK32
+    if length >= 1:
+        a = (a + k[i]) & _MASK32
+        a, b, c = _final(a, b, c)
+    return c
+
+
+#: Memo for page_checksum: jhash2 is pure, and KSM re-hashes unchanged
+#: pages every pass, so caching by content is semantics-preserving and
+#: turns steady-state passes from O(page) hashing into a dict lookup.
+_CHECKSUM_MEMO = {}
+_CHECKSUM_MEMO_MAX = 1 << 17
+
+
+def page_checksum(page_bytes, n_bytes=KSM_CHECKSUM_BYTES,
+                  initval=KSM_CHECKSUM_INITVAL):
+    """KSM's per-page checksum: jhash2 over the page's first ``n_bytes``."""
+    data = np.asarray(page_bytes, dtype=np.uint8)
+    if data.size < n_bytes:
+        raise ValueError(f"page smaller than checksum window ({data.size})")
+    window = np.ascontiguousarray(data[:n_bytes])
+    memo_key = (window.tobytes(), n_bytes, initval)
+    cached = _CHECKSUM_MEMO.get(memo_key)
+    if cached is not None:
+        return cached
+    value = jhash2(window.view(np.uint32), initval)
+    if len(_CHECKSUM_MEMO) >= _CHECKSUM_MEMO_MAX:
+        _CHECKSUM_MEMO.clear()
+    _CHECKSUM_MEMO[memo_key] = value
+    return value

@@ -1,0 +1,106 @@
+"""A physical page frame with real contents and lazily computed ECC codes."""
+
+import numpy as np
+
+from repro.common.units import (
+    CACHE_LINE_BYTES,
+    LINES_PER_PAGE,
+    PAGE_BYTES,
+)
+from repro.ecc.hamming import encode_page
+
+
+class PageFrame:
+    """One 4 KB physical frame.
+
+    Frames carry their actual bytes (``numpy.uint8`` array), a reference
+    count (>1 after merging), and a cached per-line ECC-code table that is
+    invalidated whenever the frame is written — mirroring how the DIMM's
+    ECC chip always stores codes consistent with the data chips.
+    """
+
+    __slots__ = ("ppn", "data", "refcount", "_ecc_codes", "writes", "reads")
+
+    def __init__(self, ppn, data=None):
+        self.ppn = int(ppn)
+        if data is None:
+            self.data = np.zeros(PAGE_BYTES, dtype=np.uint8)
+        else:
+            data = np.asarray(data, dtype=np.uint8)
+            if data.size != PAGE_BYTES:
+                raise ValueError(f"frame data must be {PAGE_BYTES} bytes")
+            self.data = data.copy()
+        self.refcount = 1
+        self._ecc_codes = None
+        self.writes = 0
+        self.reads = 0
+
+    # Content access ------------------------------------------------------------
+
+    def read_line(self, line_index):
+        """The 64 B cache line at ``line_index`` (a view, do not mutate)."""
+        if not 0 <= line_index < LINES_PER_PAGE:
+            raise IndexError(f"line index out of range: {line_index}")
+        self.reads += 1
+        start = line_index * CACHE_LINE_BYTES
+        return self.data[start : start + CACHE_LINE_BYTES]
+
+    def write_line(self, line_index, line_bytes):
+        """Overwrite the 64 B line at ``line_index`` and drop cached ECC."""
+        if not 0 <= line_index < LINES_PER_PAGE:
+            raise IndexError(f"line index out of range: {line_index}")
+        line = np.asarray(line_bytes, dtype=np.uint8)
+        if line.size != CACHE_LINE_BYTES:
+            raise ValueError(f"line must be {CACHE_LINE_BYTES} bytes")
+        start = line_index * CACHE_LINE_BYTES
+        self.data[start : start + CACHE_LINE_BYTES] = line
+        self._ecc_codes = None
+        self.writes += 1
+
+    def write_bytes(self, offset, payload):
+        """Write arbitrary bytes at ``offset`` within the page."""
+        payload = np.asarray(payload, dtype=np.uint8)
+        if offset < 0 or offset + payload.size > PAGE_BYTES:
+            raise ValueError("write outside page bounds")
+        self.data[offset : offset + payload.size] = payload
+        self._ecc_codes = None
+        self.writes += 1
+
+    def fill(self, data):
+        """Replace the whole page contents."""
+        data = np.asarray(data, dtype=np.uint8)
+        if data.size != PAGE_BYTES:
+            raise ValueError(f"frame data must be {PAGE_BYTES} bytes")
+        self.data[:] = data
+        self._ecc_codes = None
+        self.writes += 1
+
+    def zero(self):
+        """Zero the frame (the hypervisor does this on allocation)."""
+        self.data[:] = 0
+        self._ecc_codes = None
+        self.writes += 1
+
+    # Derived views -------------------------------------------------------------
+
+    @property
+    def ecc_codes(self):
+        """Per-line (64 x 8) ECC code table, recomputed after writes."""
+        if self._ecc_codes is None:
+            self._ecc_codes = encode_page(self.data)
+        return self._ecc_codes
+
+    def ecc_code_for_line(self, line_index):
+        """8-byte ECC code of one line (as stored in the spare chip)."""
+        return self.ecc_codes[line_index]
+
+    def is_zero(self):
+        """True if every byte of the frame is zero."""
+        return not self.data.any()
+
+    def same_contents(self, other):
+        """Exhaustive byte equality with another frame."""
+        return np.array_equal(self.data, other.data)
+
+    def __repr__(self):
+        return f"PageFrame(ppn={self.ppn}, refcount={self.refcount})"

@@ -1,0 +1,33 @@
+"""Simulation layer: event engine, the composed server, experiment runner.
+
+``ServerSystem`` assembles the full evaluated machine — cores, private
+L1/L2s, shared L3, snoopy bus, memory controllers, DRAM, hypervisor, VM
+images, and query load — and runs one of the paper's three configurations
+(Section 5.3):
+
+* ``baseline``  — same-page merging disabled;
+* ``ksm``       — RedHat's KSM software daemon, migrating across cores;
+* ``pageforge`` — the PageForge hardware in memory controller 0, with the
+  OS driver running KSM's algorithm.
+"""
+
+from repro.sim.engine import EventQueue
+from repro.sim.runner import (
+    ExperimentResult,
+    LatencySummary,
+    run_latency_experiment,
+    run_memory_savings,
+    run_hash_key_study,
+)
+from repro.sim.system import ServerSystem, SimulationScale
+
+__all__ = [
+    "EventQueue",
+    "ExperimentResult",
+    "LatencySummary",
+    "ServerSystem",
+    "SimulationScale",
+    "run_hash_key_study",
+    "run_latency_experiment",
+    "run_memory_savings",
+]

@@ -1,0 +1,49 @@
+"""A minimal discrete-event engine (heap-ordered callbacks)."""
+
+import heapq
+import itertools
+
+
+class EventQueue:
+    """Time-ordered event dispatch with stable FIFO tie-breaking."""
+
+    def __init__(self):
+        self._heap = []
+        self._counter = itertools.count()
+        self.now = 0.0
+        self.events_dispatched = 0
+
+    def schedule(self, time_s, callback, *args):
+        """Schedule ``callback(*args)`` at absolute time ``time_s``."""
+        if time_s < self.now:
+            raise ValueError(
+                f"cannot schedule into the past: {time_s} < {self.now}"
+            )
+        heapq.heappush(self._heap, (time_s, next(self._counter), callback, args))
+
+    def schedule_in(self, delay_s, callback, *args):
+        self.schedule(self.now + delay_s, callback, *args)
+
+    def step(self):
+        """Dispatch the next event; returns False when the queue is empty."""
+        if not self._heap:
+            return False
+        time_s, _seq, callback, args = heapq.heappop(self._heap)
+        self.now = time_s
+        callback(*args)
+        self.events_dispatched += 1
+        return True
+
+    def run_until(self, horizon_s):
+        """Dispatch all events with time <= horizon, in order."""
+        while self._heap and self._heap[0][0] <= horizon_s:
+            self.step()
+        self.now = max(self.now, horizon_s)
+
+    def run(self):
+        """Dispatch until the queue drains."""
+        while self.step():
+            pass
+
+    def __len__(self):
+        return len(self._heap)

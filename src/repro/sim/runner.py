@@ -1,0 +1,318 @@
+"""Experiment runners: one function per evaluation axis.
+
+* ``run_memory_savings``   — Figure 7 (functional, no timing needed);
+* ``run_hash_key_study``   — Figure 8 (jhash vs ECC keys on live pages);
+* ``run_latency_experiment`` — Figures 9/10/11 + Table 4 (timed system).
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.common.config import KSMConfig, MachineConfig, TAILBENCH_APPS
+from repro.common.rng import DeterministicRNG
+from repro.core.hashkey import ecc_hash_key
+from repro.ksm import KSMDaemon
+from repro.ksm.jhash import page_checksum
+from repro.mem import MemoryController, PhysicalMemory
+from repro.sim.system import ServerSystem, SimulationScale
+from repro.virt import Hypervisor
+from repro.workloads.memimage import (
+    MemoryImageProfile,
+    WriteChurner,
+    build_vm_images,
+)
+
+
+def _resolve_app(app):
+    if isinstance(app, str):
+        return TAILBENCH_APPS[app]
+    return app
+
+
+# --------------------------------------------------------------------------
+# Figure 7: memory savings
+# --------------------------------------------------------------------------
+
+@dataclass
+class MemorySavingsResult:
+    """Pages allocated with and without merging, by category (Fig. 7)."""
+
+    app_name: str
+    pages_before: int
+    pages_after: int
+    before_by_category: Dict[str, int]
+    after_by_category: Dict[str, int]
+    merges: int
+    engine: str  # "ksm" or "pageforge"
+
+    @property
+    def savings_frac(self):
+        if self.pages_before == 0:
+            return 0.0
+        return 1.0 - self.pages_after / self.pages_before
+
+    def normalized_after(self):
+        """Per-category page counts normalised to the unmerged total."""
+        total = float(self.pages_before)
+        return {k: v / total for k, v in self.after_by_category.items()}
+
+
+def run_memory_savings(app, pages_per_vm=2000, n_vms=10, seed=2017,
+                       engine="ksm", max_passes=8, churn=True):
+    """Steady-state memory-savings run for one application (Fig. 7).
+
+    ``engine`` selects the software daemon or the PageForge driver; the
+    paper shows both reach identical savings, which this run verifies.
+    With ``churn=True`` (the realistic steady state) a write churner
+    keeps rewriting the frequently-written population between scan
+    intervals, so those pages never stabilise — without it they are
+    duplicates like any others and merge, overstating the savings.
+    """
+    app = _resolve_app(app)
+    rng = DeterministicRNG(seed, f"fig7/{app.name}")
+    capacity = max(pages_per_vm * n_vms * 4 * 4096, 64 << 20)
+    memory = PhysicalMemory(capacity)
+    hypervisor = Hypervisor(physical_memory=memory)
+    profile = MemoryImageProfile.for_app(app, pages_per_vm)
+    images = build_vm_images(hypervisor, profile, n_vms, rng)
+
+    before = hypervisor.footprint_pages()
+    before_by_cat = hypervisor.footprint_by_category()
+
+    ksm_config = KSMConfig(pages_to_scan=4000)
+    if engine == "ksm":
+        merger = KSMDaemon(hypervisor, ksm_config)
+    elif engine == "pageforge":
+        from repro.core.driver import PageForgeMergeDriver
+
+        controller = MemoryController(0, memory, verify_ecc=False)
+        merger = PageForgeMergeDriver(
+            hypervisor, controller, ksm_config=ksm_config,
+            line_sampling=8,
+        )
+    else:
+        raise ValueError(f"unknown engine: {engine!r}")
+
+    churner = WriteChurner(
+        hypervisor, images.churn_pages if churn else [],
+        rng.derive("churn"), fraction_per_tick=0.5,
+    )
+    daemon = merger if engine == "ksm" else merger.daemon
+    passes_before = daemon.stats.passes_completed
+    last_footprint = None
+    stable = 0
+    for _ in range(max_passes * 40):
+        churner.tick()
+        interval = daemon.scan_pages(ksm_config.pages_to_scan)
+        if interval.pages_scanned == 0 and interval.passes_completed == 0:
+            break
+        if interval.passes_completed:
+            passes = daemon.stats.passes_completed - passes_before
+            footprint = hypervisor.footprint_pages()
+            if (
+                last_footprint is not None
+                and abs(footprint - last_footprint) <= max(2, footprint // 200)
+            ):
+                stable += 1
+            else:
+                stable = 0
+            last_footprint = footprint
+            if stable >= 2 and passes >= 3:
+                break
+            if passes >= max_passes:
+                break
+
+    return MemorySavingsResult(
+        app_name=app.name,
+        pages_before=before,
+        pages_after=hypervisor.footprint_pages(),
+        before_by_category=before_by_cat,
+        after_by_category=hypervisor.footprint_by_category(),
+        merges=daemon.stats.merges,
+        engine=engine,
+    )
+
+
+# --------------------------------------------------------------------------
+# Figure 8: hash-key comparison outcomes
+# --------------------------------------------------------------------------
+
+@dataclass
+class HashKeyStudyResult:
+    """Outcomes of the per-pass hash-key stability check (Fig. 8)."""
+
+    app_name: str
+    comparisons: int
+    jhash_matches: int
+    jhash_mismatches: int
+    ecc_matches: int
+    ecc_mismatches: int
+    # Ground truth: among key *matches*, how many pages had actually
+    # changed (false positives).
+    jhash_false_positives: int
+    ecc_false_positives: int
+
+    @property
+    def jhash_match_frac(self):
+        return self.jhash_matches / self.comparisons if self.comparisons else 0.0
+
+    @property
+    def ecc_match_frac(self):
+        return self.ecc_matches / self.comparisons if self.comparisons else 0.0
+
+    @property
+    def extra_ecc_false_positive_frac(self):
+        """ECC's additional false-positive matches, as a fraction of all
+        comparisons (the paper reports 3.7% on average)."""
+        if not self.comparisons:
+            return 0.0
+        return (
+            self.ecc_false_positives - self.jhash_false_positives
+        ) / self.comparisons
+
+
+def run_hash_key_study(app, pages_per_vm=600, n_vms=4, n_passes=6,
+                       seed=2017, churn_fraction=1.0,
+                       ecc_offsets=(0, 16, 32, 48)):
+    """Replay KSM's hash-stability protocol with both key types (Fig. 8).
+
+    Each pass re-keys every mergeable page with jhash2-over-1KB and with
+    the ECC key, comparing against the previous pass's keys.  Between
+    passes a churner rewrites part of the churn population at random
+    offsets, so some pages change in ways one key sees and the other
+    misses — the source of false-positive matches.
+    """
+    app = _resolve_app(app)
+    rng = DeterministicRNG(seed, f"fig8/{app.name}")
+    capacity = max(pages_per_vm * n_vms * 4 * 4096, 64 << 20)
+    hypervisor = Hypervisor(physical_memory=PhysicalMemory(capacity))
+    profile = MemoryImageProfile.for_app(app, pages_per_vm)
+    images = build_vm_images(hypervisor, profile, n_vms, rng)
+    churner = WriteChurner(
+        hypervisor, images.churn_pages, rng.derive("churn"),
+        fraction_per_tick=churn_fraction,
+    )
+
+    prev_jhash = {}
+    prev_ecc = {}
+    prev_content = {}
+    result = HashKeyStudyResult(
+        app_name=app.name, comparisons=0,
+        jhash_matches=0, jhash_mismatches=0,
+        ecc_matches=0, ecc_mismatches=0,
+        jhash_false_positives=0, ecc_false_positives=0,
+    )
+
+    for _pass in range(n_passes):
+        for vm in images.vms:
+            for mapping in vm.mergeable_mappings():
+                if mapping.cow:
+                    continue
+                key = (vm.vm_id, mapping.gpn)
+                frame = hypervisor.memory.frame(mapping.ppn)
+                jh = page_checksum(frame.data)
+                ek = ecc_hash_key(frame.data, line_offsets=ecc_offsets)
+                digest = hash(frame.data.tobytes())
+                if key in prev_jhash:
+                    result.comparisons += 1
+                    changed = prev_content[key] != digest
+                    if jh == prev_jhash[key]:
+                        result.jhash_matches += 1
+                        if changed:
+                            result.jhash_false_positives += 1
+                    else:
+                        result.jhash_mismatches += 1
+                    if ek == prev_ecc[key]:
+                        result.ecc_matches += 1
+                        if changed:
+                            result.ecc_false_positives += 1
+                    else:
+                        result.ecc_mismatches += 1
+                prev_jhash[key] = jh
+                prev_ecc[key] = ek
+                prev_content[key] = digest
+        churner.tick()
+    return result
+
+
+# --------------------------------------------------------------------------
+# Figures 9/10/11 + Table 4: the timed system
+# --------------------------------------------------------------------------
+
+@dataclass
+class LatencySummary:
+    """Latency results of one (app, mode) run."""
+
+    app_name: str
+    mode: str
+    mean_sojourn_s: float
+    p95_sojourn_s: float
+    queries: int
+    kernel_share_avg: float
+    kernel_share_max: float
+    l3_miss_rate: float
+    bandwidth_peak_gbps: float
+    bandwidth_breakdown: Dict[str, float]
+    ksm_compare_share: float = 0.0
+    ksm_hash_share: float = 0.0
+    pf_mean_table_cycles: float = 0.0
+    pf_std_table_cycles: float = 0.0
+    footprint_pages: int = 0
+
+
+@dataclass
+class ExperimentResult:
+    """All three modes for one application."""
+
+    app_name: str
+    summaries: Dict[str, LatencySummary] = field(default_factory=dict)
+
+    def normalized_mean(self, mode):
+        base = self.summaries["baseline"].mean_sojourn_s
+        return self.summaries[mode].mean_sojourn_s / base if base else 0.0
+
+    def normalized_p95(self, mode):
+        base = self.summaries["baseline"].p95_sojourn_s
+        return self.summaries[mode].p95_sojourn_s / base if base else 0.0
+
+
+def run_latency_experiment(app, modes=("baseline", "ksm", "pageforge"),
+                           scale=None, machine=None, seed=2017):
+    """Run one app under each configuration; returns ExperimentResult."""
+    app = _resolve_app(app)
+    result = ExperimentResult(app_name=app.name)
+    for mode in modes:
+        system = ServerSystem(
+            app, mode=mode, machine=machine, scale=scale, seed=seed
+        )
+        collector = system.run()
+        shares = system.kernel_shares()
+        peak, breakdown, _start = system.bandwidth_peak()
+        summary = LatencySummary(
+            app_name=app.name,
+            mode=mode,
+            mean_sojourn_s=collector.geomean_mean_sojourn_s(),
+            p95_sojourn_s=collector.geomean_p95_sojourn_s(),
+            queries=len(collector),
+            kernel_share_avg=float(np.mean(shares)),
+            kernel_share_max=float(np.max(shares)),
+            l3_miss_rate=system.l3_miss_rate(),
+            bandwidth_peak_gbps=peak,
+            bandwidth_breakdown=breakdown,
+            footprint_pages=system.hypervisor.footprint_pages(),
+        )
+        if mode == "ksm":
+            compare, hsh, _other = system.ksm_timing.shares()
+            summary.ksm_compare_share = compare
+            summary.ksm_hash_share = hsh
+        if mode == "pageforge":
+            summary.pf_mean_table_cycles = (
+                system.pf_driver.hw_stats.mean_table_cycles
+            )
+            summary.pf_std_table_cycles = (
+                system.pf_driver.hw_stats.std_table_cycles
+            )
+        result.summaries[mode] = summary
+    return result

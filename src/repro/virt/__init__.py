@@ -1,0 +1,19 @@
+"""Virtualization substrate: VMs, guest page tables, hypervisor, CoW.
+
+Implements the machinery of Figure 1: guest-physical to host-physical
+mappings per VM, hypervisor page allocation (zeroed on first touch via a
+soft page fault), ``madvise(MADV_MERGEABLE)`` registration, same-page
+merging with refcounting, copy-on-write protection, and CoW breaking on
+guest writes.
+"""
+
+from repro.virt.hypervisor import Hypervisor, HypervisorStats, MergeRollback
+from repro.virt.vm import GuestMapping, VirtualMachine
+
+__all__ = [
+    "GuestMapping",
+    "Hypervisor",
+    "HypervisorStats",
+    "MergeRollback",
+    "VirtualMachine",
+]

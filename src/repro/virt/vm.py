@@ -1,0 +1,90 @@
+"""A virtual machine: guest page table and mergeable-region registry."""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class GuestMapping:
+    """One guest page's mapping state."""
+
+    gpn: int
+    ppn: int
+    mergeable: bool = False
+    cow: bool = False  # write-protected because the frame is shared
+    category: str = "unclassified"  # workload tag (Fig. 7 breakdown)
+
+
+class VirtualMachine:
+    """One VM instance: id, name, and its guest-physical address space.
+
+    The guest page table maps guest page numbers (GPNs) to host PPNs.
+    ``madvise`` regions mark GPNs as candidates for same-page merging, as
+    KVM guests do with ``MADV_MERGEABLE`` (Section 2.1).
+    """
+
+    def __init__(self, vm_id, name="vm"):
+        self.vm_id = int(vm_id)
+        self.name = name
+        self._table = {}  # gpn -> GuestMapping
+        self.pinned_core = None
+
+    # Page table -----------------------------------------------------------------
+
+    def map_page(self, gpn, ppn, mergeable=False, category="unclassified"):
+        if gpn in self._table:
+            raise ValueError(f"GPN {gpn} already mapped in VM {self.vm_id}")
+        self._table[gpn] = GuestMapping(
+            gpn=gpn, ppn=ppn, mergeable=mergeable, category=category
+        )
+        return self._table[gpn]
+
+    def remap(self, gpn, ppn, cow):
+        mapping = self.mapping(gpn)
+        mapping.ppn = ppn
+        mapping.cow = cow
+        return mapping
+
+    def unmap(self, gpn):
+        return self._table.pop(gpn)
+
+    def mapping(self, gpn):
+        try:
+            return self._table[gpn]
+        except KeyError:
+            raise KeyError(
+                f"GPN {gpn} is not mapped in VM {self.vm_id}"
+            ) from None
+
+    def is_mapped(self, gpn):
+        return gpn in self._table
+
+    def translate(self, gpn):
+        """GPN -> PPN."""
+        return self.mapping(gpn).ppn
+
+    # madvise --------------------------------------------------------------------
+
+    def madvise_mergeable(self, gpn_start, n_pages):
+        """Mark [gpn_start, gpn_start + n_pages) as MADV_MERGEABLE."""
+        for gpn in range(gpn_start, gpn_start + n_pages):
+            if gpn in self._table:
+                self._table[gpn].mergeable = True
+
+    # Iteration ------------------------------------------------------------------
+
+    def mappings(self):
+        """All mappings, in GPN order."""
+        return [self._table[g] for g in sorted(self._table)]
+
+    def mergeable_mappings(self):
+        return [m for m in self.mappings() if m.mergeable]
+
+    @property
+    def n_pages(self):
+        return len(self._table)
+
+    def __repr__(self):
+        return (
+            f"VirtualMachine(id={self.vm_id}, name={self.name!r}, "
+            f"pages={self.n_pages})"
+        )

@@ -1,0 +1,39 @@
+"""Workload substrate: VM memory images and TailBench-like load.
+
+The paper deploys ten VMs per application, each running the same TailBench
+app (Table 3).  Two aspects of those workloads matter to the evaluation
+and are synthesised here:
+
+* **memory content structure** (:mod:`repro.workloads.memimage`): how much
+  inter-VM duplication exists (co-located VMs share OS images, libraries,
+  packages — Section 2), how many pages are zero, and how many pages
+  churn too fast to merge.  This determines Figure 7.
+* **request load** (:mod:`repro.workloads.tailbench`): Poisson query
+  arrivals at Table 3's QPS with per-app service-time scales, plus the
+  latency statistics the paper reports (mean sojourn and p95 tail,
+  geometric-mean across VMs).
+"""
+
+from repro.workloads.memimage import (
+    BuiltImages,
+    MemoryImageProfile,
+    WriteChurner,
+    build_vm_images,
+)
+from repro.workloads.tailbench import (
+    ArrivalProcess,
+    LatencyCollector,
+    QueryRecord,
+    ServiceTimeModel,
+)
+
+__all__ = [
+    "ArrivalProcess",
+    "BuiltImages",
+    "LatencyCollector",
+    "MemoryImageProfile",
+    "QueryRecord",
+    "ServiceTimeModel",
+    "WriteChurner",
+    "build_vm_images",
+]

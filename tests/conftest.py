@@ -1,0 +1,58 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.common.rng import DeterministicRNG
+from repro.common.units import PAGE_BYTES
+from repro.mem import MemoryController, PhysicalMemory
+from repro.virt import Hypervisor
+
+
+@pytest.fixture
+def rng():
+    return DeterministicRNG(1234, "tests")
+
+
+@pytest.fixture
+def memory():
+    return PhysicalMemory(64 * 1024 * 1024)
+
+
+@pytest.fixture
+def hypervisor(memory):
+    return Hypervisor(physical_memory=memory)
+
+
+@pytest.fixture
+def controller(memory):
+    return MemoryController(0, memory)
+
+
+@pytest.fixture
+def random_page(rng):
+    return rng.bytes_array(PAGE_BYTES)
+
+
+def make_page(rng, prefix=None):
+    """A random page, optionally sharing ``prefix`` bytes with others."""
+    page = rng.bytes_array(PAGE_BYTES)
+    if prefix is not None:
+        page[: len(prefix)] = prefix
+    return page
+
+
+@pytest.fixture
+def two_vm_setup(hypervisor, rng):
+    """Two VMs with one shared page, one unique page each, one zero page."""
+    shared = rng.bytes_array(PAGE_BYTES)
+    vms = []
+    for i in range(2):
+        vm = hypervisor.create_vm(f"vm{i}")
+        hypervisor.populate_page(vm, 0, shared, category="mergeable",
+                                 mergeable=True)
+        hypervisor.populate_page(vm, 1, rng.bytes_array(PAGE_BYTES),
+                                 category="unmergeable", mergeable=True)
+        hypervisor.touch_page(vm, 2, category="zero", mergeable=True)
+        vms.append(vm)
+    return hypervisor, vms

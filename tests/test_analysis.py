@@ -1,0 +1,123 @@
+"""Tests for the analysis/report renderers."""
+
+import pytest
+
+from repro.analysis import (
+    format_fig7_memory_savings,
+    format_fig8_hash_keys,
+    format_fig9_mean_latency,
+    format_fig10_tail_latency,
+    format_fig11_bandwidth,
+    format_table2_configuration,
+    format_table4_ksm_characterization,
+    format_table5_pageforge,
+    geometric_mean,
+)
+from repro.common import default_machine_config
+from repro.core.power import PageForgePowerModel
+from repro.sim.runner import (
+    ExperimentResult,
+    HashKeyStudyResult,
+    LatencySummary,
+    MemorySavingsResult,
+)
+
+
+def _savings(app="moses"):
+    return MemorySavingsResult(
+        app_name=app, pages_before=1000, pages_after=520,
+        before_by_category={"unmergeable": 450, "zero": 50,
+                            "mergeable": 500},
+        after_by_category={"unmergeable": 450, "zero": 1, "mergeable": 69},
+        merges=480, engine="pageforge",
+    )
+
+
+def _summary(mode, mean, p95, bw=2.0):
+    return LatencySummary(
+        app_name="moses", mode=mode, mean_sojourn_s=mean,
+        p95_sojourn_s=p95, queries=100, kernel_share_avg=0.06,
+        kernel_share_max=0.3, l3_miss_rate=0.35,
+        bandwidth_peak_gbps=bw, bandwidth_breakdown={"app": bw},
+        ksm_compare_share=0.5, ksm_hash_share=0.15,
+        pf_mean_table_cycles=7000.0, pf_std_table_cycles=1000.0,
+    )
+
+
+def _experiment():
+    result = ExperimentResult(app_name="moses")
+    result.summaries["baseline"] = _summary("baseline", 1e-3, 3e-3, 2.0)
+    result.summaries["ksm"] = _summary("ksm", 1.7e-3, 7e-3, 10.0)
+    result.summaries["pageforge"] = _summary("pageforge", 1.1e-3,
+                                             3.3e-3, 12.0)
+    return result
+
+
+class TestGeometricMean:
+    def test_basic(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_skips_nonpositive(self):
+        assert geometric_mean([0.0, 2.0, 2.0]) == pytest.approx(2.0)
+
+    def test_empty(self):
+        assert geometric_mean([]) == 0.0
+
+
+class TestExperimentResult:
+    def test_normalisation(self):
+        result = _experiment()
+        assert result.normalized_mean("ksm") == pytest.approx(1.7)
+        assert result.normalized_p95("pageforge") == pytest.approx(1.1)
+
+
+class TestRenderers:
+    def test_fig7(self):
+        text = format_fig7_memory_savings([_savings()])
+        assert "Figure 7" in text
+        assert "moses" in text
+        assert "48%" in text  # the paper reference
+
+    def test_fig8(self):
+        study = HashKeyStudyResult(
+            app_name="moses", comparisons=1000, jhash_matches=950,
+            jhash_mismatches=50, ecc_matches=987, ecc_mismatches=13,
+            jhash_false_positives=2, ecc_false_positives=39,
+        )
+        text = format_fig8_hash_keys([study])
+        assert "Figure 8" in text
+        assert "3.7%" in text
+        assert study.extra_ecc_false_positive_frac == pytest.approx(0.037)
+
+    def test_fig9_and_10(self):
+        result = _experiment()
+        fig9 = format_fig9_mean_latency([result])
+        fig10 = format_fig10_tail_latency([result])
+        assert "1.70" in fig9
+        assert "2.33" in fig10  # 7/3
+        assert "1.68x" in fig9 and "2.36x" in fig10
+
+    def test_fig11(self):
+        text = format_fig11_bandwidth([_experiment()])
+        assert "Figure 11" in text
+        assert "10.00" in text and "12.00" in text
+
+    def test_table2(self):
+        text = format_table2_configuration(default_machine_config())
+        assert "10 OoO cores" in text
+        assert "32 MB" in text
+        assert "512 MB" in text
+
+    def test_table4(self):
+        text = format_table4_ksm_characterization([_experiment()])
+        assert "Table 4" in text
+        assert "6.0%" in text  # kernel_share_avg
+        assert "50.0%" in text  # compare share
+
+    def test_table5(self):
+        text = format_table5_pageforge([_experiment()],
+                                       PageForgePowerModel())
+        assert "Table 5" in text
+        assert "7,000" in text
+        assert "12,000" in text
+        assert "mm^2" in text

@@ -1,0 +1,140 @@
+"""Tests for the CLI and the result exporters."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.analysis.export import (
+    hash_study_to_rows,
+    latency_to_rows,
+    rows_to_csv,
+    rows_to_json,
+    savings_to_rows,
+)
+from repro.cli import build_parser, main
+from repro.sim.runner import (
+    ExperimentResult,
+    HashKeyStudyResult,
+    LatencySummary,
+    MemorySavingsResult,
+)
+
+
+def _savings():
+    return MemorySavingsResult(
+        app_name="moses", pages_before=100, pages_after=50,
+        before_by_category={}, after_by_category={"zero": 1},
+        merges=50, engine="ksm",
+    )
+
+
+def _experiment():
+    result = ExperimentResult(app_name="moses")
+    for mode, mean in (("baseline", 1e-3), ("ksm", 1.5e-3)):
+        result.summaries[mode] = LatencySummary(
+            app_name="moses", mode=mode, mean_sojourn_s=mean,
+            p95_sojourn_s=mean * 3, queries=10, kernel_share_avg=0.05,
+            kernel_share_max=0.2, l3_miss_rate=0.3,
+            bandwidth_peak_gbps=4.0, bandwidth_breakdown={"app": 4.0},
+        )
+    return result
+
+
+class TestExporters:
+    def test_savings_rows(self):
+        rows = savings_to_rows([_savings()])
+        assert rows[0]["app"] == "moses"
+        assert rows[0]["savings_frac"] == pytest.approx(0.5)
+
+    def test_latency_rows(self):
+        rows = latency_to_rows([_experiment()])
+        assert len(rows) == 2
+        ksm = next(r for r in rows if r["mode"] == "ksm")
+        assert ksm["norm_mean"] == pytest.approx(1.5)
+
+    def test_hash_rows(self):
+        study = HashKeyStudyResult(
+            app_name="moses", comparisons=100, jhash_matches=90,
+            jhash_mismatches=10, ecc_matches=95, ecc_mismatches=5,
+            jhash_false_positives=0, ecc_false_positives=5,
+        )
+        rows = hash_study_to_rows([study])
+        assert rows[0]["extra_ecc_fp_frac"] == pytest.approx(0.05)
+
+    def test_csv_roundtrip(self, tmp_path):
+        rows = savings_to_rows([_savings()])
+        path = tmp_path / "out.csv"
+        text = rows_to_csv(rows, path)
+        parsed = list(csv.DictReader(io.StringIO(text)))
+        assert parsed[0]["app"] == "moses"
+        assert path.read_text() == text
+
+    def test_csv_empty(self):
+        assert rows_to_csv([]) == ""
+
+    def test_json_roundtrip(self, tmp_path):
+        rows = latency_to_rows([_experiment()])
+        path = tmp_path / "out.json"
+        text = rows_to_json(rows, path)
+        parsed = json.loads(text)
+        assert parsed[0]["app"] == "moses"
+        assert json.loads(path.read_text()) == parsed
+
+    def test_json_handles_dataclasses(self):
+        text = rows_to_json(_savings())
+        assert json.loads(text)["app_name"] == "moses"
+
+
+class TestCLI:
+    def test_parser_commands(self):
+        parser = build_parser()
+        for command in ("savings", "hashkeys", "latency", "demo",
+                        "config"):
+            args = parser.parse_args(
+                [command] if command in ("config", "demo")
+                else [command, "--apps", "moses"]
+            )
+            assert args.command == command
+
+    def test_config_command(self, capsys):
+        assert main(["config"]) == 0
+        assert "10 OoO cores" in capsys.readouterr().out
+
+    def test_demo_command(self, capsys):
+        assert main(["demo"]) == 0
+        assert "merges" in capsys.readouterr().out
+
+    def test_savings_command_small(self, capsys, tmp_path):
+        csv_path = tmp_path / "savings.csv"
+        code = main([
+            "savings", "--apps", "moses", "--pages-per-vm", "60",
+            "--vms", "3", "--csv", str(csv_path),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Figure 7" in out
+        assert csv_path.exists()
+        rows = list(csv.DictReader(csv_path.open()))
+        assert {r["engine"] for r in rows} == {"ksm", "pageforge"}
+
+    def test_hashkeys_command_small(self, capsys):
+        code = main([
+            "hashkeys", "--apps", "moses", "--pages-per-vm", "60",
+            "--vms", "2", "--passes", "3",
+        ])
+        assert code == 0
+        assert "Figure 8" in capsys.readouterr().out
+
+    def test_latency_command_small(self, capsys, tmp_path):
+        json_path = tmp_path / "latency.json"
+        code = main([
+            "latency", "--apps", "moses", "--pages-per-vm", "100",
+            "--vms", "2", "--duration", "0.05", "--warmup", "0.05",
+            "--json", str(json_path),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Figure 9" in out and "Table 5" in out
+        assert json.loads(json_path.read_text())

@@ -1,0 +1,155 @@
+"""Focused tests for the PageForge OS driver and strategy internals."""
+
+import numpy as np
+import pytest
+
+from repro.common.config import KSMConfig, PageForgeConfig
+from repro.common.units import PAGE_BYTES
+from repro.core import PageForgeMergeDriver, ecc_hash_key
+from repro.core.driver import PageForgeTreeStrategy
+from repro.ksm import ContentRBTree, RBNode
+from repro.ksm.daemon import StaleNodeError
+from repro.mem import MemoryController, PhysicalMemory
+from repro.virt import Hypervisor
+
+
+@pytest.fixture
+def driver(memory):
+    hypervisor = Hypervisor(physical_memory=memory)
+    controller = MemoryController(0, memory, verify_ecc=False)
+    return PageForgeMergeDriver(hypervisor, controller)
+
+
+def stable_tree_of(memory, rng, n):
+    """A stable tree with daemon-style key functions (stale-aware)."""
+    tree = ContentRBTree("stable")
+    frames = []
+
+    def key_fn_for(frame):
+        def key():
+            if not memory.is_allocated(frame.ppn):
+                raise StaleNodeError(f"PPN {frame.ppn} freed")
+            return frame.data
+
+        return key
+
+    for _ in range(n):
+        frame = memory.allocate()
+        frame.fill(rng.bytes_array(PAGE_BYTES))
+        frames.append(frame)
+        tree.insert(RBNode(key_fn_for(frame),
+                           payload=("stable", frame.ppn)))
+    return tree, frames
+
+
+class TestHashKeyContinuity:
+    def test_key_persists_across_refills(self, driver, memory, rng):
+        """A candidate's minikeys accumulate across Scan-Table refills;
+        the final key equals the software reference."""
+        tree, _frames = stable_tree_of(memory, rng, 100)  # > 31: refills
+        candidate = memory.allocate()
+        candidate.fill(rng.bytes_array(PAGE_BYTES))
+        outcome = driver.strategy.walk(tree, candidate)
+        assert outcome.match is None
+        assert driver.strategy.table_refills >= 2
+        key = driver.strategy.checksum(candidate)
+        assert key == ecc_hash_key(candidate.data)
+
+    def test_key_reset_between_candidates(self, driver, memory, rng):
+        tree, _frames = stable_tree_of(memory, rng, 10)
+        for _ in range(2):
+            candidate = memory.allocate()
+            candidate.fill(rng.bytes_array(PAGE_BYTES))
+            driver.strategy.walk(tree, candidate)
+            assert driver.strategy.checksum(candidate) == ecc_hash_key(
+                candidate.data
+            )
+
+    def test_checksum_without_prior_walk(self, driver, memory, rng):
+        """checksum() alone must force key generation (empty-table scan
+        with Last Refill)."""
+        frame = memory.allocate()
+        frame.fill(rng.bytes_array(PAGE_BYTES))
+        assert driver.strategy.checksum(frame) == ecc_hash_key(frame.data)
+
+    def test_unstable_walk_reuses_candidate(self, driver, memory, rng):
+        """Stable walk then unstable walk for the same candidate: the
+        hardware keeps the PFE (no keygen reset)."""
+        stable, _f1 = stable_tree_of(memory, rng, 20)
+        unstable, _f2 = stable_tree_of(memory, rng, 20)
+        candidate = memory.allocate()
+        candidate.fill(rng.bytes_array(PAGE_BYTES))
+        driver.strategy.walk(stable, candidate)
+        keys_before = driver.engine.stats.hash_keys_completed
+        driver.strategy.walk(unstable, candidate)
+        # Key was completed at most once for this candidate.
+        assert driver.engine.stats.hash_keys_completed - keys_before <= 1
+        assert driver.strategy.checksum(candidate) == ecc_hash_key(
+            candidate.data
+        )
+
+
+class TestStaleHandling:
+    def test_stale_node_raises_for_daemon(self, driver, memory, rng):
+        tree, frames = stable_tree_of(memory, rng, 5)
+        candidate = memory.allocate()
+        candidate.fill(rng.bytes_array(PAGE_BYTES))
+        memory.decref(frames[2].ppn)  # free a tree page behind its back
+        with pytest.raises(StaleNodeError):
+            # Direct strategy walk must surface staleness (the daemon
+            # catches it and prunes).
+            driver.strategy.walk(tree, candidate)
+
+    def test_daemon_prunes_and_retries(self, rng):
+        """End-to-end: freeing merged frames mid-run never wedges the
+        daemon (exercised via CoW breaks on all sharers)."""
+        memory = PhysicalMemory(128 << 20)
+        hypervisor = Hypervisor(physical_memory=memory)
+        content = rng.bytes_array(PAGE_BYTES)
+        vms = [hypervisor.create_vm(f"v{i}") for i in range(2)]
+        for vm in vms:
+            hypervisor.populate_page(vm, 0, content, mergeable=True)
+            hypervisor.populate_page(vm, 1, rng.bytes_array(PAGE_BYTES),
+                                     mergeable=True)
+        driver = PageForgeMergeDriver(
+            hypervisor, MemoryController(0, memory, verify_ecc=False),
+            ksm_config=KSMConfig(pages_to_scan=100),
+        )
+        driver.run_to_steady_state()
+        # Break the merged page from both sides: the stable frame frees.
+        hypervisor.guest_write(vms[0], 0, 0, np.array([1], dtype=np.uint8))
+        hypervisor.guest_write(vms[1], 0, 0, np.array([2], dtype=np.uint8))
+        driver.scan_pages(200)  # must prune the stale stable node
+        hypervisor.verify_consistency()
+
+
+class TestBatchConstruction:
+    def test_batch_capacity_respected(self, driver, memory, rng):
+        tree, _frames = stable_tree_of(memory, rng, 80)
+        batch = driver.strategy._load_batch(tree, tree.root)
+        assert len(batch.nodes) <= driver.engine.table.n_entries
+        assert not batch.is_last  # 80 nodes cannot fit in one batch
+
+    def test_small_tree_is_last(self, driver, memory, rng):
+        tree, _frames = stable_tree_of(memory, rng, 7)
+        batch = driver.strategy._load_batch(tree, tree.root)
+        assert batch.is_last
+        assert len(batch.nodes) == 7
+
+    def test_all_entries_valid_after_load(self, driver, memory, rng):
+        tree, _frames = stable_tree_of(memory, rng, 31)
+        batch = driver.strategy._load_batch(tree, tree.root)
+        table = driver.engine.table
+        for i in range(len(batch.nodes)):
+            assert table.entries[i].valid
+
+    def test_custom_table_capacity(self, rng):
+        memory = PhysicalMemory(128 << 20)
+        hypervisor = Hypervisor(physical_memory=memory)
+        driver = PageForgeMergeDriver(
+            hypervisor, MemoryController(0, memory, verify_ecc=False),
+            pf_config=PageForgeConfig(other_pages_entries=7),
+        )
+        tree, _frames = stable_tree_of(memory, rng, 50)
+        batch = driver.strategy._load_batch(tree, tree.root)
+        assert len(batch.nodes) == 7

@@ -1,0 +1,273 @@
+"""Tests for the PageForge comparator engine and the OS drivers."""
+
+import numpy as np
+import pytest
+
+from repro.cache import SetAssocCache, SnoopBus
+from repro.cache.mesi import MESIState
+from repro.common.config import KSMConfig, PageForgeConfig, ProcessorConfig
+from repro.common.units import PAGE_BYTES
+from repro.core import (
+    ArbitrarySetStrategy,
+    PageForgeAPI,
+    PageForgeEngine,
+    PageForgeMergeDriver,
+    ecc_hash_key,
+    miss_sentinel,
+)
+from repro.ksm import ContentRBTree, KSMDaemon, RBNode
+from repro.mem import MemoryController, PhysicalMemory
+from repro.virt import Hypervisor
+
+
+def make_engine(memory, bus=None, line_sampling=1):
+    mc = MemoryController(0, memory)
+    return PageForgeEngine(mc, bus=bus, line_sampling=line_sampling)
+
+
+def alloc_page(memory, rng, data=None):
+    frame = memory.allocate()
+    frame.fill(data if data is not None else rng.bytes_array(PAGE_BYTES))
+    return frame
+
+
+class TestComparator:
+    def test_finds_duplicate(self, memory, rng):
+        engine = make_engine(memory)
+        api = PageForgeAPI(engine)
+        data = rng.bytes_array(PAGE_BYTES)
+        cand = alloc_page(memory, rng, data)
+        twin = alloc_page(memory, rng, data)
+        api.insert_PPN(0, twin.ppn)
+        api.insert_PFE(cand.ppn, last_refill=True, ptr=0)
+        api.trigger()
+        info = api.get_PFE_info()
+        assert info.scanned and info.duplicate
+        assert info.ptr == 0  # Ptr names the matching entry
+
+    def test_walks_less_more(self, memory, rng):
+        """Three pages ordered small < candidate < large: the walk must
+        follow More from the small page, then Less from the large one."""
+        engine = make_engine(memory)
+        api = PageForgeAPI(engine)
+        small = alloc_page(memory, rng, np.zeros(PAGE_BYTES, dtype=np.uint8))
+        large = alloc_page(
+            memory, rng, np.full(PAGE_BYTES, 0xFF, dtype=np.uint8)
+        )
+        mid_data = rng.bytes_array(PAGE_BYTES)
+        mid_data[0] = 0x80
+        cand = alloc_page(memory, rng, mid_data)
+        twin = alloc_page(memory, rng, mid_data)
+        # Tree: small at 0 -> more=1 (large) -> less=2 (twin).
+        api.insert_PPN(0, small.ppn, less=miss_sentinel(0, "left"), more=1)
+        api.insert_PPN(1, large.ppn, less=2, more=miss_sentinel(1, "right"))
+        api.insert_PPN(2, twin.ppn, less=miss_sentinel(2, "left"),
+                       more=miss_sentinel(2, "right"))
+        api.insert_PFE(cand.ppn, last_refill=True, ptr=0)
+        api.trigger()
+        info = api.get_PFE_info()
+        assert info.duplicate and info.ptr == 2
+        assert engine.stats.page_comparisons == 3
+
+    def test_miss_leaves_sentinel_in_ptr(self, memory, rng):
+        engine = make_engine(memory)
+        api = PageForgeAPI(engine)
+        other = alloc_page(memory, rng, np.zeros(PAGE_BYTES, dtype=np.uint8))
+        cand = alloc_page(memory, rng)  # random > zeros
+        api.insert_PPN(0, other.ppn, less=miss_sentinel(0, "left"),
+                       more=miss_sentinel(0, "right"))
+        api.insert_PFE(cand.ppn, last_refill=True, ptr=0)
+        api.trigger()
+        info = api.get_PFE_info()
+        assert info.scanned and not info.duplicate
+        assert info.ptr == miss_sentinel(0, "right")
+
+    def test_hash_key_generated_in_background(self, memory, rng):
+        engine = make_engine(memory)
+        api = PageForgeAPI(engine)
+        data = rng.bytes_array(PAGE_BYTES)
+        cand = alloc_page(memory, rng, data)
+        twin = alloc_page(memory, rng, data)
+        api.insert_PPN(0, twin.ppn)
+        api.insert_PFE(cand.ppn, last_refill=False, ptr=0)
+        api.trigger()
+        info = api.get_PFE_info()
+        # Full-page comparison covered all hash offsets -> H set even
+        # without Last Refill.
+        assert info.hash_ready
+        assert info.hash_key == ecc_hash_key(data)
+
+    def test_last_refill_forces_hash(self, memory, rng):
+        engine = make_engine(memory)
+        api = PageForgeAPI(engine)
+        cand = alloc_page(memory, rng)
+        api.insert_PFE(cand.ppn, last_refill=True, ptr=0)  # empty table
+        api.trigger()
+        info = api.get_PFE_info()
+        assert info.hash_ready
+        assert info.hash_key == ecc_hash_key(
+            memory.frame(cand.ppn).data
+        )
+        assert engine.stats.hash_fill_reads == 4
+
+    def test_no_hash_without_last_refill_or_coverage(self, memory, rng):
+        engine = make_engine(memory)
+        api = PageForgeAPI(engine)
+        cand = alloc_page(memory, rng)
+        zeros = alloc_page(memory, rng, np.zeros(PAGE_BYTES, dtype=np.uint8))
+        # Diverges in line 0 -> only line 0 observed, sections 2-4 missing.
+        api.insert_PPN(0, zeros.ppn, less=miss_sentinel(0, "left"),
+                       more=miss_sentinel(0, "right"))
+        api.insert_PFE(cand.ppn, last_refill=False, ptr=0)
+        api.trigger()
+        assert not api.get_PFE_info().hash_ready
+
+    def test_sampled_mode_same_outcome(self, memory, rng):
+        data = rng.bytes_array(PAGE_BYTES)
+        for sampling in (1, 8):
+            engine = make_engine(memory, line_sampling=sampling)
+            api = PageForgeAPI(engine)
+            cand = alloc_page(memory, rng, data)
+            twin = alloc_page(memory, rng, data)
+            api.insert_PPN(0, twin.ppn)
+            api.insert_PFE(cand.ppn, last_refill=True, ptr=0)
+            api.trigger()
+            info = api.get_PFE_info()
+            assert info.duplicate
+            assert info.hash_key == ecc_hash_key(data)
+
+    def test_network_service_path(self, memory, rng):
+        """Lines cached on chip are serviced from the network, not DRAM."""
+        proc = ProcessorConfig(n_cores=1)
+        bus = SnoopBus()
+        l3 = SetAssocCache(proc.l3)
+        bus.register_shared(l3)
+        engine = make_engine(memory, bus=bus)
+        api = PageForgeAPI(engine)
+        data = rng.bytes_array(PAGE_BYTES)
+        cand = alloc_page(memory, rng, data)
+        twin = alloc_page(memory, rng, data)
+        for line in range(64):  # the candidate is fully cached
+            l3.insert(cand.ppn * 64 + line, MESIState.SHARED)
+        api.insert_PPN(0, twin.ppn)
+        api.insert_PFE(cand.ppn, last_refill=True, ptr=0)
+        api.trigger()
+        assert engine.stats.lines_from_network == 64
+        assert api.get_PFE_info().duplicate
+
+    def test_table_cycles_recorded(self, memory, rng):
+        engine = make_engine(memory)
+        api = PageForgeAPI(engine)
+        cand = alloc_page(memory, rng)
+        api.insert_PFE(cand.ppn, last_refill=True, ptr=0)
+        api.trigger()
+        assert engine.stats.tables_processed == 1
+        assert len(engine.stats.table_cycles) == 1
+        assert engine.stats.table_cycles[0] > 0
+
+
+class TestArbitrarySetStrategy:
+    def test_scan_set_finds_match(self, memory, rng):
+        engine = make_engine(memory)
+        api = PageForgeAPI(engine)
+        strategy = ArbitrarySetStrategy(api)
+        data = rng.bytes_array(PAGE_BYTES)
+        cand = alloc_page(memory, rng, data)
+        others = [alloc_page(memory, rng) for _ in range(40)]
+        twin = alloc_page(memory, rng, data)
+        ppns = [f.ppn for f in others] + [twin.ppn]
+        assert strategy.scan_set(cand.ppn, ppns) == twin.ppn
+
+    def test_scan_set_miss(self, memory, rng):
+        engine = make_engine(memory)
+        api = PageForgeAPI(engine)
+        strategy = ArbitrarySetStrategy(api)
+        cand = alloc_page(memory, rng)
+        others = [alloc_page(memory, rng) for _ in range(5)]
+        assert strategy.scan_set(cand.ppn, [f.ppn for f in others]) is None
+
+    def test_scan_set_spans_batches(self, memory, rng):
+        """More pages than Scan-Table entries forces refills."""
+        engine = make_engine(memory)
+        api = PageForgeAPI(engine)
+        strategy = ArbitrarySetStrategy(api)
+        data = rng.bytes_array(PAGE_BYTES)
+        cand = alloc_page(memory, rng, data)
+        others = [alloc_page(memory, rng) for _ in range(35)]
+        twin = alloc_page(memory, rng, data)
+        ppns = [f.ppn for f in others] + [twin.ppn]
+        assert strategy.scan_set(cand.ppn, ppns) == twin.ppn
+
+    def test_scan_graph(self, memory, rng):
+        engine = make_engine(memory)
+        api = PageForgeAPI(engine)
+        strategy = ArbitrarySetStrategy(api)
+        lo = alloc_page(memory, rng, np.zeros(PAGE_BYTES, dtype=np.uint8))
+        hi = alloc_page(memory, rng,
+                        np.full(PAGE_BYTES, 0xFF, dtype=np.uint8))
+        data = rng.bytes_array(PAGE_BYTES)
+        cand = alloc_page(memory, rng, data)
+        twin = alloc_page(memory, rng, data)
+        graph = {
+            "root": (lo.ppn, None, "right-child"),
+            "right-child": (hi.ppn, "target", None),
+            "target": (twin.ppn, None, None),
+        }
+        assert strategy.scan_graph(cand.ppn, graph, "root") == "target"
+
+
+class TestTreeStrategyVsSoftware:
+    def test_hardware_walk_matches_software(self, memory, rng):
+        """The Scan-Table walk must reach the same node as a software
+        tree search, across refill boundaries (trees > 31 nodes)."""
+        hyp = Hypervisor(physical_memory=memory)
+        mc = MemoryController(0, memory)
+        driver = PageForgeMergeDriver(hyp, mc)
+        tree = ContentRBTree("stable")
+        frames = []
+        for _ in range(80):
+            frame = alloc_page(memory, rng)
+            frames.append(frame)
+            tree.insert(RBNode(lambda f=frame: f.data,
+                               payload=("stable", frame.ppn)))
+        # Search for an existing page.
+        target = frames[37]
+        outcome = driver.strategy.walk(tree, target)
+        assert outcome.match is not None
+        assert outcome.match.payload == ("stable", target.ppn)
+        # And a missing page: insertion point must equal software's.
+        probe = alloc_page(memory, rng)
+        hw = driver.strategy.walk(tree, probe)
+        sw = tree.walk(probe.data)
+        assert hw.match is None and sw.match is None
+        assert hw.parent is sw.parent
+        assert hw.direction == sw.direction
+
+
+class TestMergeDriverEquivalence:
+    def test_driver_matches_ksm_footprint(self, rng):
+        def build():
+            memory = PhysicalMemory(64 * 1024 * 1024)
+            hyp = Hypervisor(physical_memory=memory)
+            content_rng = rng.derive("contents")
+            shared = [content_rng.bytes_array(PAGE_BYTES) for _ in range(4)]
+            for i in range(3):
+                vm = hyp.create_vm(f"vm{i}")
+                for g, c in enumerate(shared):
+                    hyp.populate_page(vm, g, c, mergeable=True)
+                hyp.populate_page(vm, 4, content_rng.bytes_array(PAGE_BYTES),
+                                  mergeable=True)
+            return memory, hyp
+
+        memory, hyp = build()
+        daemon = KSMDaemon(hyp, KSMConfig(pages_to_scan=200))
+        daemon.run_to_steady_state()
+        sw_footprint = hyp.footprint_pages()
+
+        memory, hyp = build()
+        driver = PageForgeMergeDriver(
+            hyp, MemoryController(0, memory),
+            ksm_config=KSMConfig(pages_to_scan=200),
+        )
+        driver.run_to_steady_state()
+        assert hyp.footprint_pages() == sw_footprint

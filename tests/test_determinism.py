@@ -1,0 +1,67 @@
+"""Determinism: identical seeds must reproduce identical experiments.
+
+The whole reproduction is built on seeded RNG streams; these tests pin
+that guarantee so refactors cannot silently introduce order-dependent or
+unseeded randomness.
+"""
+
+import pytest
+
+from repro.common.config import TAILBENCH_APPS
+from repro.sim import (
+    ServerSystem,
+    SimulationScale,
+    run_hash_key_study,
+    run_memory_savings,
+)
+
+TINY = SimulationScale(pages_per_vm=100, n_vms=2, duration_s=0.08,
+                       warmup_s=0.05)
+APP = TAILBENCH_APPS["moses"]
+
+
+class TestSeedDeterminism:
+    def _run(self, mode, seed):
+        system = ServerSystem(APP, mode=mode, scale=TINY, seed=seed)
+        collector = system.run()
+        return (
+            collector.mean_sojourn_s(),
+            collector.p95_sojourn_s(),
+            len(collector),
+            system.hypervisor.footprint_pages(),
+        )
+
+    @pytest.mark.parametrize("mode", ["baseline", "ksm", "pageforge"])
+    def test_same_seed_identical(self, mode):
+        assert self._run(mode, seed=5) == self._run(mode, seed=5)
+
+    def test_different_seed_differs(self):
+        assert self._run("baseline", 5) != self._run("baseline", 6)
+
+    def test_savings_deterministic(self):
+        a = run_memory_savings("moses", pages_per_vm=60, n_vms=3, seed=9)
+        b = run_memory_savings("moses", pages_per_vm=60, n_vms=3, seed=9)
+        assert a.pages_after == b.pages_after
+        assert a.merges == b.merges
+        assert a.after_by_category == b.after_by_category
+
+    def test_hash_study_deterministic(self):
+        a = run_hash_key_study("moses", pages_per_vm=50, n_vms=2,
+                               n_passes=3, seed=4)
+        b = run_hash_key_study("moses", pages_per_vm=50, n_vms=2,
+                               n_passes=3, seed=4)
+        assert (a.jhash_matches, a.ecc_matches) == \
+            (b.jhash_matches, b.ecc_matches)
+
+    def test_content_mode_independent(self):
+        """Baseline and KSM runs see byte-identical VM images."""
+        systems = [
+            ServerSystem(APP, mode=mode, scale=TINY, seed=11)
+            for mode in ("baseline", "ksm")
+        ]
+        vm_a = systems[0].vms[0]
+        vm_b = systems[1].vms[0]
+        for gpn in range(0, TINY.pages_per_vm, 17):
+            a = systems[0].hypervisor.guest_read(vm_a, gpn)
+            b = systems[1].hypervisor.guest_read(vm_b, gpn)
+            assert a.tobytes() == b.tobytes(), gpn

@@ -1,0 +1,197 @@
+"""Tests for the (72,64) Hamming SECDED codec and the ECC engine."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.units import CACHE_LINE_BYTES, PAGE_BYTES
+from repro.ecc import (
+    CHECK_BITS,
+    CODEWORD_BITS,
+    DATA_BITS,
+    DecodeStatus,
+    ECCEngine,
+    decode_word,
+    decode_words,
+    encode_line,
+    encode_page,
+    encode_word,
+    encode_words,
+    inject_error,
+)
+
+u64 = st.integers(min_value=0, max_value=2**64 - 1)
+
+
+class TestCodewordGeometry:
+    def test_constants(self):
+        assert DATA_BITS == 64
+        assert CHECK_BITS == 8
+        assert CODEWORD_BITS == 72
+
+
+class TestEncode:
+    def test_zero_word_encodes_to_zero_checks(self):
+        assert encode_word(0) == 0
+
+    def test_encode_words_vectorized_matches_scalar(self):
+        rng = np.random.default_rng(3)
+        words = rng.integers(0, 2**63, size=32, dtype=np.uint64)
+        vec = encode_words(words)
+        for w, c in zip(words, vec):
+            assert encode_word(int(w)) == int(c)
+
+    @given(u64)
+    @settings(max_examples=50)
+    def test_check_byte_in_range(self, word):
+        assert 0 <= encode_word(word) <= 0xFF
+
+    @given(u64, st.integers(min_value=0, max_value=63))
+    @settings(max_examples=50)
+    def test_single_data_bit_changes_code_or_detected(self, word, bit):
+        """Any single data-bit flip must change the check byte."""
+        flipped = word ^ (1 << bit)
+        assert encode_word(word) != encode_word(flipped)
+
+
+class TestDecode:
+    @given(u64)
+    @settings(max_examples=100)
+    def test_clean_roundtrip(self, word):
+        out = decode_word(word, encode_word(word))
+        assert out.status is DecodeStatus.OK
+        assert out.word == word
+
+    @given(u64, st.integers(min_value=0, max_value=CODEWORD_BITS - 1))
+    @settings(max_examples=150)
+    def test_single_bit_error_corrected(self, word, bit):
+        check = encode_word(word)
+        bad_word, bad_check = inject_error(word, check, bit)
+        out = decode_word(bad_word, bad_check)
+        assert out.status is not DecodeStatus.UNCORRECTABLE
+        assert out.word == word  # data always recovered
+
+    @given(
+        u64,
+        st.integers(min_value=0, max_value=CODEWORD_BITS - 1),
+        st.integers(min_value=0, max_value=CODEWORD_BITS - 1),
+    )
+    @settings(max_examples=150)
+    def test_double_bit_error_never_miscorrects(self, word, b1, b2):
+        """SECDED: two flips are either detected or at worst restore the
+        original word (when both flips cancel)."""
+        if b1 == b2:
+            return
+        check = encode_word(word)
+        w, c = inject_error(word, check, b1)
+        w, c = inject_error(w, c, b2)
+        out = decode_word(w, c)
+        # A double error must never be silently "corrected" to a wrong word.
+        if out.status is not DecodeStatus.UNCORRECTABLE:
+            assert out.word != word or out.status is DecodeStatus.OK
+
+    def test_double_error_detected_in_data(self):
+        word = 0x1234_5678_9ABC_DEF0
+        check = encode_word(word)
+        w, c = inject_error(word, check, 3)
+        w, c = inject_error(w, c, 47)
+        assert decode_word(w, c).status is DecodeStatus.UNCORRECTABLE
+
+    def test_parity_bit_error(self):
+        word = 99
+        check = encode_word(word)
+        w, c = inject_error(word, check, 71)  # overall parity bit
+        out = decode_word(w, c)
+        assert out.word == word
+        assert out.status in (
+            DecodeStatus.PARITY_BIT_ERROR, DecodeStatus.CORRECTED
+        )
+
+    def test_decode_words_batch(self):
+        rng = np.random.default_rng(5)
+        words = rng.integers(0, 2**63, size=16, dtype=np.uint64)
+        checks = encode_words(words)
+        outcomes = decode_words(words, checks)
+        assert all(o.status is DecodeStatus.OK for o in outcomes)
+
+    def test_decode_words_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            decode_words(np.zeros(3, dtype=np.uint64),
+                         np.zeros(4, dtype=np.uint8))
+
+    def test_inject_error_out_of_range(self):
+        with pytest.raises(ValueError):
+            inject_error(0, 0, 72)
+
+
+class TestLineAndPage:
+    def test_encode_line_shape(self):
+        line = np.arange(CACHE_LINE_BYTES, dtype=np.uint8)
+        code = encode_line(line)
+        assert code.shape == (8,)
+
+    def test_encode_line_wrong_size(self):
+        with pytest.raises(ValueError):
+            encode_line(np.zeros(63, dtype=np.uint8))
+
+    def test_encode_page_shape_and_consistency(self):
+        rng = np.random.default_rng(7)
+        page = rng.integers(0, 256, PAGE_BYTES).astype(np.uint8)
+        codes = encode_page(page)
+        assert codes.shape == (64, 8)
+        # Line 5's code must match encoding that line alone.
+        line5 = page[5 * 64 : 6 * 64]
+        assert np.array_equal(codes[5], encode_line(line5))
+
+    def test_different_lines_usually_different_codes(self):
+        rng = np.random.default_rng(11)
+        page = rng.integers(0, 256, PAGE_BYTES).astype(np.uint8)
+        codes = encode_page(page)
+        distinct = {tuple(c) for c in codes}
+        assert len(distinct) > 32  # random lines rarely collide
+
+
+class TestECCEngine:
+    def test_encode_counts(self):
+        engine = ECCEngine()
+        line = np.zeros(64, dtype=np.uint8)
+        engine.encode_line(line)
+        assert engine.stats.lines_encoded == 1
+
+    def test_decode_clean(self):
+        engine = ECCEngine()
+        rng = np.random.default_rng(2)
+        line = rng.integers(0, 256, 64).astype(np.uint8)
+        code = encode_line(line)
+        out, ok = engine.decode_line(line, code)
+        assert ok
+        assert np.array_equal(out, line)
+        assert engine.stats.words_corrected == 0
+
+    def test_decode_corrects_single_bit(self):
+        engine = ECCEngine()
+        rng = np.random.default_rng(2)
+        line = rng.integers(0, 256, 64).astype(np.uint8)
+        code = encode_line(line)
+        corrupted = line.copy()
+        corrupted[10] ^= 0x04  # flip one bit of word 1
+        out, ok = engine.decode_line(corrupted, code)
+        assert ok
+        assert np.array_equal(out, line)
+        assert engine.stats.words_corrected == 1
+
+    def test_decode_flags_double_error(self):
+        engine = ECCEngine()
+        line = np.zeros(64, dtype=np.uint8)
+        code = encode_line(line)
+        corrupted = line.copy()
+        corrupted[0] ^= 0x03  # two bit flips in word 0
+        _out, ok = engine.decode_line(corrupted, code)
+        assert not ok
+        assert engine.stats.uncorrectable_errors == 1
+
+    def test_stats_reset(self):
+        engine = ECCEngine()
+        engine.encode_line(np.zeros(64, dtype=np.uint8))
+        engine.stats.reset()
+        assert engine.stats.lines_encoded == 0

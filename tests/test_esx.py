@@ -1,0 +1,143 @@
+"""Tests for ESX-style hash-bucket merging on both backends."""
+
+import numpy as np
+import pytest
+
+from repro.common.units import PAGE_BYTES
+from repro.core import PageForgeAPI, PageForgeEngine
+from repro.ksm.esx import (
+    ESXStyleMerger,
+    PageForgeESXBackend,
+    SoftwareESXBackend,
+)
+from repro.mem import MemoryController, PhysicalMemory
+from repro.virt import Hypervisor
+
+
+def build_world(hypervisor, rng, n_vms=3, n_shared=4, n_unique=2):
+    shared = [rng.bytes_array(PAGE_BYTES) for _ in range(n_shared)]
+    for i in range(n_vms):
+        vm = hypervisor.create_vm(f"vm{i}")
+        gpn = 0
+        for content in shared:
+            hypervisor.populate_page(vm, gpn, content, mergeable=True)
+            gpn += 1
+        for _ in range(n_unique):
+            hypervisor.populate_page(vm, gpn, rng.bytes_array(PAGE_BYTES),
+                                     mergeable=True)
+            gpn += 1
+    return n_shared + n_vms * n_unique  # expected merged footprint
+
+
+@pytest.fixture
+def pf_backend(hypervisor):
+    mc = MemoryController(0, hypervisor.memory, verify_ecc=False)
+    api = PageForgeAPI(PageForgeEngine(mc))
+    return PageForgeESXBackend(hypervisor, api)
+
+
+class TestSoftwareBackend:
+    def test_reaches_expected_footprint(self, hypervisor, rng):
+        expected = build_world(hypervisor, rng)
+        merger = ESXStyleMerger(hypervisor)
+        merger.run_to_steady_state()
+        assert hypervisor.footprint_pages() == expected
+        hypervisor.verify_consistency()
+
+    def test_bucket_hits_counted(self, hypervisor, rng):
+        build_world(hypervisor, rng)
+        merger = ESXStyleMerger(hypervisor)
+        merger.run_to_steady_state()
+        assert merger.stats.bucket_hits > 0
+        assert merger.stats.merges > 0
+
+    def test_no_false_merges(self, hypervisor, rng):
+        """Key collisions must never merge different contents."""
+        build_world(hypervisor, rng)
+        merger = ESXStyleMerger(hypervisor)
+        merger.run_to_steady_state()
+        for vm in hypervisor.vms.values():
+            for mapping in vm.mappings():
+                frame = hypervisor.memory.frame(mapping.ppn)
+                for (ovm_id, ogpn) in hypervisor.sharers(mapping.ppn):
+                    other = hypervisor.vms[ovm_id]
+                    assert np.array_equal(
+                        hypervisor.guest_read(other, ogpn), frame.data
+                    )
+
+    def test_interval_budget(self, hypervisor, rng):
+        build_world(hypervisor, rng)
+        merger = ESXStyleMerger(hypervisor)
+        interval = merger.scan_pages(n_pages=3)
+        assert interval.pages_scanned <= 3
+
+    def test_empty_world(self, hypervisor):
+        merger = ESXStyleMerger(hypervisor)
+        interval = merger.scan_pages()
+        assert interval.pages_scanned == 0
+
+
+class TestPageForgeBackend:
+    def test_matches_software_result(self, rng):
+        footprints = {}
+        for kind in ("sw", "hw"):
+            memory = PhysicalMemory(128 << 20)
+            hypervisor = Hypervisor(physical_memory=memory)
+            expected = build_world(hypervisor, rng.derive(f"esx-{kind}"))
+            if kind == "sw":
+                merger = ESXStyleMerger(hypervisor)
+            else:
+                mc = MemoryController(0, memory, verify_ecc=False)
+                api = PageForgeAPI(PageForgeEngine(mc))
+                merger = ESXStyleMerger(
+                    hypervisor, backend=PageForgeESXBackend(hypervisor, api)
+                )
+            merger.run_to_steady_state()
+            footprints[kind] = (hypervisor.footprint_pages(), expected)
+        assert footprints["sw"][0] == footprints["sw"][1]
+        assert footprints["hw"][0] == footprints["hw"][1]
+
+    def test_hardware_key_used(self, hypervisor, rng, pf_backend):
+        from repro.core import ecc_hash_key
+
+        build_world(hypervisor, rng)
+        vm = hypervisor.vms[0]
+        frame = hypervisor.memory.frame(vm.translate(0))
+        assert pf_backend.key_for(frame) == ecc_hash_key(frame.data)
+
+    def test_hardware_comparisons_counted(self, hypervisor, rng,
+                                          pf_backend):
+        build_world(hypervisor, rng)
+        merger = ESXStyleMerger(hypervisor, backend=pf_backend)
+        merger.run_to_steady_state()
+        assert merger.stats.full_comparisons > 0
+        assert pf_backend.api.engine.stats.page_comparisons > 0
+        assert merger.stats.merges > 0
+
+
+class TestAlgorithmComparison:
+    def test_esx_needs_fewer_comparisons_than_tree(self, rng):
+        """Hash-bucketing's selling point: candidates compare only
+        against same-key pages, not along a whole tree path."""
+        from repro.common.config import KSMConfig
+        from repro.ksm import KSMDaemon
+
+        def world():
+            memory = PhysicalMemory(128 << 20)
+            hyp = Hypervisor(physical_memory=memory)
+            build_world(hyp, rng.derive("cmp"), n_vms=4, n_shared=6,
+                        n_unique=6)
+            return hyp
+
+        hyp = world()
+        esx = ESXStyleMerger(hyp)
+        esx.run_to_steady_state()
+        esx_footprint = hyp.footprint_pages()
+
+        hyp = world()
+        ksm = KSMDaemon(hyp, KSMConfig(pages_to_scan=10_000))
+        ksm.run_to_steady_state()
+        assert hyp.footprint_pages() == esx_footprint
+        # Tree search compares along O(log n) nodes per candidate; the
+        # hash filter compares only true bucket members.
+        assert esx.stats.full_comparisons < ksm.stats.comparisons

@@ -1,0 +1,98 @@
+"""Tests for the FR-FCFS memory-request scheduler."""
+
+import pytest
+
+from repro.mem.dram import DRAMModel
+from repro.mem.requests import AccessSource, MemRequest, RequestKind
+from repro.mem.scheduler import FRFCFSScheduler
+
+
+def read_req(ppn, line=0):
+    return MemRequest(RequestKind.READ, ppn, line, AccessSource.CORE)
+
+
+def write_req(ppn, line=0):
+    return MemRequest(RequestKind.WRITE, ppn, line, AccessSource.CORE)
+
+
+@pytest.fixture
+def sched():
+    return FRFCFSScheduler(DRAMModel(), read_entries=4, write_entries=4)
+
+
+class TestEnqueue:
+    def test_buffers_bounded(self, sched):
+        for i in range(4):
+            assert sched.enqueue(read_req(i))
+        assert not sched.enqueue(read_req(99))
+        for i in range(4):
+            assert sched.enqueue(write_req(i))
+        assert not sched.enqueue(write_req(99))
+
+    def test_counts(self, sched):
+        sched.enqueue(read_req(1))
+        sched.enqueue(write_req(2))
+        assert sched.pending_reads == 1
+        assert sched.pending_writes == 1
+
+
+class TestIssuePolicy:
+    def test_empty_returns_none(self, sched):
+        assert sched.issue_next() is None
+
+    def test_reads_prioritised(self, sched):
+        sched.enqueue(write_req(1))
+        sched.enqueue(read_req(2))
+        request, _lat = sched.issue_next()
+        assert request.kind is RequestKind.READ
+
+    def test_write_drain_at_high_water(self, sched):
+        for i in range(3):  # 3 >= 4 * 0.75
+            sched.enqueue(write_req(i))
+        sched.enqueue(read_req(9))
+        request, _lat = sched.issue_next()
+        assert request.kind is RequestKind.WRITE
+        assert sched.stats.write_drains == 1
+
+    def test_row_hit_reordering(self, sched):
+        """A younger request to an open row issues before older misses."""
+        dram = sched.dram
+        # Open a row by touching (0, 0).
+        dram.access_line(0, 0, False, "core", 0.0)
+        _c, bank0, row0 = dram.map_line(0, 0)
+        # Find a ppn/line mapping to the same bank+row (same row segment)
+        # and one mapping elsewhere.
+        same_row = read_req(0, 2) if dram.map_line(0, 2)[1:] == (bank0, row0) \
+            else read_req(0, 4)
+        other = read_req(12345, 17)
+        sched.enqueue(other)
+        sched.enqueue(same_row)
+        request, _lat = sched.issue_next()
+        if dram.map_line(same_row.ppn, same_row.line_index)[1:] == (bank0, row0):
+            assert request is same_row
+            assert sched.stats.row_hit_first == 1
+
+    def test_fcfs_without_open_rows(self, sched):
+        sched.dram.reset_rows()
+        first = read_req(100, 0)
+        second = read_req(200, 0)
+        sched.enqueue(first)
+        sched.enqueue(second)
+        request, _lat = sched.issue_next()
+        assert request is first
+
+    def test_drain_all(self, sched):
+        for i in range(3):
+            sched.enqueue(read_req(i))
+            sched.enqueue(write_req(i + 10))
+        issued = sched.drain_all()
+        assert len(issued) == 6
+        assert sched.pending_reads == 0
+        assert sched.pending_writes == 0
+        assert sched.stats.issued == 6
+
+    def test_latency_recorded(self, sched):
+        sched.enqueue(read_req(5))
+        request, latency = sched.issue_next()
+        assert latency > 0
+        assert request.complete_cycle == request.issue_cycle + latency

@@ -1,0 +1,69 @@
+"""Tests for the PageForge area/power model (Table 5)."""
+
+import pytest
+
+from repro.common.config import PageForgeConfig
+from repro.core.power import PageForgePowerModel, PowerReport
+
+
+class TestArea:
+    def test_total_matches_paper_point(self):
+        model = PageForgePowerModel()
+        assert model.total_area_mm2() == pytest.approx(0.029, abs=0.005)
+
+    def test_scan_table_area(self):
+        model = PageForgePowerModel()
+        assert model.scan_table_area_mm2() == pytest.approx(0.010,
+                                                            abs=0.003)
+
+    def test_bigger_table_bigger_area(self):
+        small = PageForgePowerModel(PageForgeConfig(scan_table_bytes=260))
+        big = PageForgePowerModel(PageForgeConfig(scan_table_bytes=2048))
+        assert big.scan_table_area_mm2() > small.scan_table_area_mm2()
+
+
+class TestPower:
+    def test_total_in_paper_band(self):
+        model = PageForgePowerModel()
+        total = model.total_power_w()
+        assert 0.005 <= total <= 0.08  # paper: 0.037 W
+
+    def test_power_scales_with_activity(self):
+        model = PageForgePowerModel()
+        idle = model.total_power_w(scan_activity=0.0, alu_activity=0.0)
+        busy = model.total_power_w(scan_activity=1.0, alu_activity=1.0)
+        assert busy > idle
+        assert idle > 0  # leakage never disappears
+
+    def test_power_scales_with_frequency(self):
+        slow = PageForgePowerModel(frequency_hz=1e9)
+        fast = PageForgePowerModel(frequency_hz=4e9)
+        assert fast.total_power_w() > slow.total_power_w()
+
+
+class TestReports:
+    def test_report_rows(self):
+        reports = PageForgePowerModel().report()
+        names = [r.name for r in reports]
+        assert names == ["Scan table", "ALU", "Total PageForge"]
+        total = reports[-1]
+        assert total.area_mm2 == pytest.approx(
+            reports[0].area_mm2 + reports[1].area_mm2
+        )
+        assert total.power_w == pytest.approx(
+            reports[0].power_w + reports[1].power_w
+        )
+
+    def test_comparison_points(self):
+        inorder, server = PageForgePowerModel().comparison_points()
+        assert isinstance(inorder, PowerReport)
+        assert inorder.area_mm2 == pytest.approx(0.77)
+        assert server.power_w == pytest.approx(164.0)
+
+    def test_orders_of_magnitude(self):
+        """The paper's punchline: negligible next to cores and chips."""
+        model = PageForgePowerModel()
+        total = model.report()[-1]
+        inorder, server = model.comparison_points()
+        assert inorder.power_w / total.power_w >= 5
+        assert server.area_mm2 / total.area_mm2 >= 1000

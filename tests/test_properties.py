@@ -1,0 +1,225 @@
+"""Property-based tests on cross-module invariants.
+
+These drive randomised operation sequences (merges, writes, churn,
+daemon passes) and check the system-wide invariants that must survive
+them: refcount/rmap consistency, content preservation under CoW,
+merge-result equivalence between software and hardware engines, and
+ECC/key determinism.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.common.config import KSMConfig
+from repro.common.rng import DeterministicRNG
+from repro.common.units import PAGE_BYTES
+from repro.core import ecc_hash_key
+from repro.core.driver import PageForgeMergeDriver
+from repro.ecc.hamming import encode_page, encode_words
+from repro.ksm import KSMDaemon
+from repro.ksm.compare import compare_pages
+from repro.mem import MemoryController, PhysicalMemory
+from repro.virt import Hypervisor
+
+
+def _build_world(seed, n_vms, n_shared, n_unique):
+    rng = DeterministicRNG(seed, "prop-world")
+    hyp = Hypervisor(physical_memory=PhysicalMemory(256 << 20))
+    shared = [rng.bytes_array(PAGE_BYTES) for _ in range(n_shared)]
+    for i in range(n_vms):
+        vm = hyp.create_vm(f"vm{i}")
+        gpn = 0
+        for content in shared:
+            hyp.populate_page(vm, gpn, content, mergeable=True)
+            gpn += 1
+        for _ in range(n_unique):
+            hyp.populate_page(vm, gpn, rng.bytes_array(PAGE_BYTES),
+                              mergeable=True)
+            gpn += 1
+    return hyp, rng
+
+
+@st.composite
+def world_params(draw):
+    return (
+        draw(st.integers(min_value=0, max_value=10_000)),  # seed
+        draw(st.integers(min_value=2, max_value=4)),  # n_vms
+        draw(st.integers(min_value=1, max_value=4)),  # n_shared
+        draw(st.integers(min_value=0, max_value=3)),  # n_unique
+    )
+
+
+class TestMergeWriteInvariants:
+    @given(world_params(), st.data())
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_random_merge_write_sequences(self, params, data):
+        """Any interleaving of daemon scans and guest writes preserves
+        refcount/rmap consistency and each VM's *visible* page contents
+        (a VM may share frames, but what it reads must be what it
+        logically owns)."""
+        seed, n_vms, n_shared, n_unique = params
+        hyp, rng = _build_world(seed, n_vms, n_shared, n_unique)
+        daemon = KSMDaemon(hyp, KSMConfig(pages_to_scan=200))
+
+        # Record what every guest page should contain.
+        expected = {
+            (vm.vm_id, m.gpn): hyp.guest_read(vm, m.gpn).copy()
+            for vm in hyp.vms.values() for m in vm.mappings()
+        }
+
+        n_ops = data.draw(st.integers(min_value=1, max_value=12))
+        for _ in range(n_ops):
+            op = data.draw(st.sampled_from(["scan", "write"]))
+            if op == "scan":
+                daemon.scan_pages(50)
+            else:
+                vm = hyp.vms[data.draw(
+                    st.integers(min_value=0, max_value=n_vms - 1))]
+                gpn = data.draw(st.integers(
+                    min_value=0, max_value=n_shared + n_unique - 1))
+                offset = data.draw(st.integers(
+                    min_value=0, max_value=PAGE_BYTES - 1))
+                value = data.draw(st.integers(min_value=0, max_value=255))
+                hyp.guest_write(vm, gpn,
+                                offset, np.array([value], dtype=np.uint8))
+                expected[(vm.vm_id, gpn)][offset] = value
+
+        hyp.verify_consistency()
+        for (vm_id, gpn), content in expected.items():
+            seen = hyp.guest_read(hyp.vms[vm_id], gpn)
+            assert np.array_equal(seen, content), (vm_id, gpn)
+
+    @given(world_params())
+    @settings(max_examples=15, deadline=None)
+    def test_footprint_never_exceeds_guest_pages(self, params):
+        seed, n_vms, n_shared, n_unique = params
+        hyp, _rng = _build_world(seed, n_vms, n_shared, n_unique)
+        daemon = KSMDaemon(hyp, KSMConfig(pages_to_scan=500))
+        daemon.run_to_steady_state(max_passes=4)
+        assert hyp.footprint_pages() <= hyp.guest_pages()
+        # And never below the number of distinct contents.
+        distinct = len({
+            hyp.guest_read(vm, m.gpn).tobytes()
+            for vm in hyp.vms.values() for m in vm.mappings()
+        })
+        assert hyp.footprint_pages() >= distinct
+
+
+class TestEngineEquivalence:
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=10, deadline=None)
+    def test_software_and_hardware_reach_same_footprint(self, seed):
+        results = []
+        for engine in ("sw", "hw"):
+            hyp, _rng = _build_world(seed, 3, 3, 2)
+            if engine == "sw":
+                daemon = KSMDaemon(hyp, KSMConfig(pages_to_scan=500))
+                daemon.run_to_steady_state(max_passes=4)
+            else:
+                driver = PageForgeMergeDriver(
+                    hyp, MemoryController(0, hyp.memory, verify_ecc=False),
+                    ksm_config=KSMConfig(pages_to_scan=500),
+                )
+                driver.run_to_steady_state(max_passes=4)
+            results.append(hyp.footprint_pages())
+        assert results[0] == results[1]
+
+
+def _page_from_spec(seed, mutations):
+    """Build a page from a compact spec (cheap for hypothesis)."""
+    page = DeterministicRNG(seed, "prop-page").bytes_array(PAGE_BYTES)
+    for offset, value in mutations:
+        page[offset % PAGE_BYTES] = value
+    return page
+
+
+_page_spec = st.tuples(
+    st.integers(min_value=0, max_value=1000),
+    st.lists(
+        st.tuples(st.integers(min_value=0, max_value=PAGE_BYTES - 1),
+                  st.integers(min_value=0, max_value=255)),
+        max_size=6,
+    ),
+)
+
+
+class TestContentOrderingProperties:
+    @given(_page_spec, _page_spec)
+    @settings(max_examples=60, deadline=None)
+    def test_compare_pages_matches_lexicographic(self, spec_a, spec_b):
+        a = _page_from_spec(*spec_a)
+        b = _page_from_spec(*spec_b)
+        raw_a, raw_b = a.tobytes(), b.tobytes()
+        sign, cost = compare_pages(a, b)
+        expected = (raw_a > raw_b) - (raw_a < raw_b)
+        assert sign == expected
+        assert 1 <= cost <= PAGE_BYTES
+
+    @given(_page_spec, st.integers(min_value=0, max_value=PAGE_BYTES - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_compare_antisymmetric(self, spec, flip_at):
+        a = _page_from_spec(*spec)
+        b = a.copy()
+        b[flip_at] = (int(a[flip_at]) + 1) % 256
+        sign_ab, cost_ab = compare_pages(a, b)
+        sign_ba, cost_ba = compare_pages(b, a)
+        assert sign_ab == -sign_ba
+        assert cost_ab == cost_ba
+
+
+class TestKeyDeterminism:
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_ecc_key_pure_function_of_content(self, seed):
+        rng = DeterministicRNG(seed, "key-det")
+        page = rng.bytes_array(PAGE_BYTES)
+        assert ecc_hash_key(page) == ecc_hash_key(page.copy())
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1),
+           st.integers(min_value=0, max_value=PAGE_BYTES // 8 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_ecc_codes_change_iff_word_changes(self, seed, word_index):
+        """Per-word SECDED: flipping word k changes code k, no other."""
+        rng = DeterministicRNG(seed, "word-det")
+        page = rng.bytes_array(PAGE_BYTES)
+        before = encode_words(page.view(np.uint64)).copy()
+        page[word_index * 8] ^= 0x01
+        after = encode_words(page.view(np.uint64))
+        diffs = np.nonzero(before != after)[0]
+        assert diffs.tolist() == [word_index]
+
+
+class TestFailureInjection:
+    def test_oom_during_cow_break(self, rng):
+        """CoW break needs a free frame; exhaustion must surface."""
+        from repro.mem.physmem import OutOfMemoryError
+
+        hyp = Hypervisor(physical_memory=PhysicalMemory(2 * PAGE_BYTES))
+        content = rng.bytes_array(PAGE_BYTES)
+        vm0 = hyp.create_vm("a")
+        vm1 = hyp.create_vm("b")
+        hyp.populate_page(vm0, 0, content, mergeable=True)
+        hyp.populate_page(vm1, 0, content, mergeable=True)
+        hyp.merge_pages(vm0, 0, vm1, 0)
+        # Fill the freed frame so the break has nowhere to allocate.
+        hyp.touch_page(vm0, 1)
+        with pytest.raises(OutOfMemoryError):
+            hyp.guest_write(vm1, 0, 0, np.array([1], dtype=np.uint8))
+
+    def test_uncorrectable_ecc_read_raises(self, memory, rng):
+        mc = MemoryController(0, memory)
+        frame = memory.allocate()
+        frame.fill(rng.bytes_array(PAGE_BYTES))
+        _ = frame.ecc_codes  # compute stored codes
+        # Corrupt two bits of line 0's word 0 behind the ECC's back.
+        frame.data[0] ^= 0x03
+        frame._ecc_codes = encode_page(
+            np.where(np.arange(PAGE_BYTES) == 0,
+                     frame.data ^ 0x03, frame.data).astype(np.uint8)
+        )
+        from repro.mem.requests import AccessSource
+
+        with pytest.raises(RuntimeError, match="uncorrectable"):
+            mc.read_line(frame.ppn, 0, AccessSource.CORE, 0.0)

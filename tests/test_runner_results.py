@@ -1,0 +1,74 @@
+"""Tests for the runner result dataclasses and their derived metrics."""
+
+import pytest
+
+from repro.sim.runner import (
+    ExperimentResult,
+    HashKeyStudyResult,
+    LatencySummary,
+    MemorySavingsResult,
+)
+
+
+def summary(mode, mean=1.0, p95=2.0):
+    return LatencySummary(
+        app_name="x", mode=mode, mean_sojourn_s=mean, p95_sojourn_s=p95,
+        queries=1, kernel_share_avg=0, kernel_share_max=0,
+        l3_miss_rate=0, bandwidth_peak_gbps=0, bandwidth_breakdown={},
+    )
+
+
+class TestMemorySavingsResult:
+    def test_savings_frac(self):
+        r = MemorySavingsResult("a", 200, 110, {}, {}, 90, "ksm")
+        assert r.savings_frac == pytest.approx(0.45)
+
+    def test_zero_before(self):
+        r = MemorySavingsResult("a", 0, 0, {}, {}, 0, "ksm")
+        assert r.savings_frac == 0.0
+        assert r.normalized_after() == {}
+
+    def test_normalized_after(self):
+        r = MemorySavingsResult(
+            "a", 100, 60, {}, {"unmergeable": 45, "zero": 1,
+                               "mergeable": 14}, 40, "pageforge",
+        )
+        norm = r.normalized_after()
+        assert norm["unmergeable"] == pytest.approx(0.45)
+        assert norm["zero"] == pytest.approx(0.01)
+        assert norm["mergeable"] == pytest.approx(0.14)
+
+
+class TestHashKeyStudyResult:
+    def test_fracs(self):
+        r = HashKeyStudyResult("a", 200, 180, 20, 190, 10, 2, 12)
+        assert r.jhash_match_frac == pytest.approx(0.9)
+        assert r.ecc_match_frac == pytest.approx(0.95)
+        assert r.extra_ecc_false_positive_frac == pytest.approx(0.05)
+
+    def test_zero_comparisons(self):
+        r = HashKeyStudyResult("a", 0, 0, 0, 0, 0, 0, 0)
+        assert r.jhash_match_frac == 0.0
+        assert r.extra_ecc_false_positive_frac == 0.0
+
+
+class TestExperimentResult:
+    def test_normalisation(self):
+        result = ExperimentResult("x")
+        result.summaries["baseline"] = summary("baseline", 2.0, 4.0)
+        result.summaries["ksm"] = summary("ksm", 3.0, 10.0)
+        assert result.normalized_mean("ksm") == pytest.approx(1.5)
+        assert result.normalized_p95("ksm") == pytest.approx(2.5)
+
+    def test_zero_baseline(self):
+        result = ExperimentResult("x")
+        result.summaries["baseline"] = summary("baseline", 0.0, 0.0)
+        result.summaries["ksm"] = summary("ksm")
+        assert result.normalized_mean("ksm") == 0.0
+        assert result.normalized_p95("ksm") == 0.0
+
+    def test_missing_mode_raises(self):
+        result = ExperimentResult("x")
+        result.summaries["baseline"] = summary("baseline")
+        with pytest.raises(KeyError):
+            result.normalized_mean("pageforge")

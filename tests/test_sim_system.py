@@ -1,0 +1,139 @@
+"""Integration tests for the composed ServerSystem (small scales)."""
+
+import pytest
+
+from repro.common.config import TAILBENCH_APPS
+from repro.sim import ServerSystem, SimulationScale
+from repro.sim.runner import (
+    run_hash_key_study,
+    run_latency_experiment,
+    run_memory_savings,
+)
+
+#: Tiny scale: enough structure to exercise every path, fast enough for CI.
+TINY = SimulationScale(
+    pages_per_vm=120, n_vms=3, duration_s=0.12, warmup_s=0.08,
+)
+
+APP = TAILBENCH_APPS["moses"]
+
+
+@pytest.fixture(scope="module")
+def systems():
+    result = {}
+    for mode in ("baseline", "ksm", "pageforge"):
+        system = ServerSystem(APP, mode=mode, scale=TINY, seed=11)
+        system.run()
+        result[mode] = system
+    return result
+
+
+class TestModes:
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            ServerSystem(APP, mode="bogus", scale=TINY)
+
+    def test_baseline_never_merges(self, systems):
+        system = systems["baseline"]
+        assert system.hypervisor.stats.merges == 0
+        assert system.hypervisor.footprint_pages() == \
+            system.hypervisor.guest_pages()
+
+    def test_ksm_merges_pages(self, systems):
+        system = systems["ksm"]
+        assert system.hypervisor.stats.merges > 0
+        assert system.hypervisor.footprint_pages() < \
+            system.hypervisor.guest_pages()
+
+    def test_pageforge_merges_pages(self, systems):
+        system = systems["pageforge"]
+        assert system.hypervisor.stats.merges > 0
+        assert system.pf_driver.hw_stats.page_comparisons > 0
+
+    def test_all_modes_serve_queries(self, systems):
+        for mode, system in systems.items():
+            assert len(system.collector) > 0, mode
+
+    def test_workload_identical_across_modes(self, systems):
+        """Content/arrivals derive from mode-independent RNG streams."""
+        arrival_counts = {
+            mode: len(system.collector)
+            for mode, system in systems.items()
+        }
+        values = list(arrival_counts.values())
+        assert max(values) - min(values) <= 2, arrival_counts
+
+    def test_hypervisor_consistent_after_run(self, systems):
+        for system in systems.values():
+            system.hypervisor.verify_consistency()
+
+
+class TestInterferenceChannels:
+    def test_ksm_occupies_cores(self, systems):
+        shares = systems["ksm"].kernel_shares()
+        assert sum(shares) > 0.0
+        assert max(shares) > 0.0
+
+    def test_baseline_cores_free_of_kernel_work(self, systems):
+        assert sum(systems["baseline"].kernel_shares()) == 0.0
+
+    def test_pageforge_kernel_share_small(self, systems):
+        ksm_total = sum(systems["ksm"].kernel_shares())
+        pf_total = sum(systems["pageforge"].kernel_shares())
+        assert pf_total < ksm_total
+
+    def test_pollution_raises_miss_rate(self, systems):
+        assert (
+            systems["ksm"].l3_miss_rate()
+            > systems["baseline"].l3_miss_rate()
+        )
+
+    def test_pageforge_does_not_pollute(self, systems):
+        assert systems["pageforge"].l3_miss_rate() == pytest.approx(
+            systems["baseline"].l3_miss_rate(), rel=0.05
+        )
+
+    def test_pollution_decays(self, systems):
+        system = systems["ksm"]
+        m_now = system.app_l3_miss_rate(system.events.now)
+        m_later = system.app_l3_miss_rate(system.events.now + 10.0)
+        assert m_later <= m_now
+        assert m_later == pytest.approx(APP.l3_miss_rate_baseline, rel=0.01)
+
+    def test_bandwidth_recorded(self, systems):
+        for mode, system in systems.items():
+            peak, breakdown, _ = system.bandwidth_peak()
+            assert peak > 0, mode
+            assert breakdown, mode
+
+
+class TestRunners:
+    def test_memory_savings_runner(self):
+        result = run_memory_savings("moses", pages_per_vm=80, n_vms=3)
+        assert result.pages_after < result.pages_before
+        assert 0.2 < result.savings_frac < 0.7
+
+    def test_memory_savings_engines_agree(self):
+        ksm = run_memory_savings("moses", pages_per_vm=80, n_vms=3,
+                                 engine="ksm")
+        pf = run_memory_savings("moses", pages_per_vm=80, n_vms=3,
+                                engine="pageforge")
+        assert ksm.pages_after == pf.pages_after
+
+    def test_memory_savings_bad_engine(self):
+        with pytest.raises(ValueError):
+            run_memory_savings("moses", pages_per_vm=40, n_vms=2,
+                               engine="vmware")
+
+    def test_hash_key_study_runner(self):
+        result = run_hash_key_study("moses", pages_per_vm=60, n_vms=2,
+                                    n_passes=3)
+        assert result.comparisons > 0
+        assert result.ecc_match_frac >= result.jhash_match_frac - 0.05
+
+    def test_latency_runner_summaries(self):
+        result = run_latency_experiment(
+            "moses", modes=("baseline", "pageforge"), scale=TINY, seed=3
+        )
+        assert set(result.summaries) == {"baseline", "pageforge"}
+        assert result.normalized_mean("pageforge") > 0

@@ -1,0 +1,122 @@
+"""Tests for VM lifecycle: teardown, unmerge, and consolidation churn."""
+
+import numpy as np
+import pytest
+
+from repro.common.config import KSMConfig
+from repro.common.units import PAGE_BYTES
+from repro.ksm import KSMDaemon
+from repro.virt import Hypervisor
+
+
+def populate(hyp, rng, n_vms=3, shared=2, unique=2):
+    contents = [rng.bytes_array(PAGE_BYTES) for _ in range(shared)]
+    vms = []
+    for i in range(n_vms):
+        vm = hyp.create_vm(f"vm{i}")
+        gpn = 0
+        for c in contents:
+            hyp.populate_page(vm, gpn, c, mergeable=True)
+            gpn += 1
+        for _ in range(unique):
+            hyp.populate_page(vm, gpn, rng.bytes_array(PAGE_BYTES),
+                              mergeable=True)
+            gpn += 1
+        vms.append(vm)
+    return vms
+
+
+class TestDestroyVM:
+    def test_private_frames_freed(self, hypervisor, rng):
+        vms = populate(hypervisor, rng)
+        before = hypervisor.footprint_pages()
+        hypervisor.destroy_vm(vms[0])
+        assert hypervisor.footprint_pages() == before - 4
+        hypervisor.verify_consistency()
+
+    def test_shared_frames_survive(self, hypervisor, rng):
+        vms = populate(hypervisor, rng)
+        daemon = KSMDaemon(hypervisor, KSMConfig(pages_to_scan=500))
+        daemon.run_to_steady_state()
+        merged_ppn = vms[1].translate(0)
+        hypervisor.destroy_vm(vms[0])
+        # The other VMs still read the shared content.
+        assert vms[1].translate(0) == merged_ppn
+        assert hypervisor.memory.frame(merged_ppn).refcount == 2
+        hypervisor.verify_consistency()
+
+    def test_destroy_twice_raises(self, hypervisor, rng):
+        vms = populate(hypervisor, rng, n_vms=2)
+        hypervisor.destroy_vm(vms[0])
+        with pytest.raises(KeyError):
+            hypervisor.destroy_vm(vms[0])
+
+    def test_vm_ids_not_reused(self, hypervisor, rng):
+        vms = populate(hypervisor, rng, n_vms=2)
+        hypervisor.destroy_vm(vms[0])
+        new_vm = hypervisor.create_vm("replacement")
+        assert new_vm.vm_id not in (vms[0].vm_id,)
+        assert new_vm.vm_id > vms[1].vm_id
+
+    def test_daemon_survives_vm_teardown(self, hypervisor, rng):
+        """Tree nodes pointing into a destroyed VM are pruned as stale."""
+        vms = populate(hypervisor, rng)
+        daemon = KSMDaemon(hypervisor, KSMConfig(pages_to_scan=500))
+        daemon.run_to_steady_state()
+        hypervisor.destroy_vm(vms[2])
+        daemon.scan_pages(hypervisor.guest_pages() * 3)
+        hypervisor.verify_consistency()
+
+    def test_consolidation_cycle(self, hypervisor, rng):
+        """Destroy-and-replace churn: footprint returns to steady state."""
+        vms = populate(hypervisor, rng, n_vms=4)
+        daemon = KSMDaemon(hypervisor, KSMConfig(pages_to_scan=500))
+        steady = daemon.run_to_steady_state()
+        hypervisor.destroy_vm(vms[3])
+        replacement = hypervisor.create_vm("fresh")
+        for gpn in range(2):
+            hypervisor.populate_page(
+                replacement, gpn, hypervisor.guest_read(vms[0], gpn).copy(),
+                mergeable=True,
+            )
+        for gpn in range(2, 4):
+            hypervisor.populate_page(
+                replacement, gpn, rng.bytes_array(PAGE_BYTES),
+                mergeable=True,
+            )
+        daemon.run_to_steady_state()
+        assert hypervisor.footprint_pages() == steady
+        hypervisor.verify_consistency()
+
+
+class TestUnmerge:
+    def test_unmerge_gives_private_copy(self, hypervisor, rng):
+        vms = populate(hypervisor, rng, n_vms=2)
+        daemon = KSMDaemon(hypervisor, KSMConfig(pages_to_scan=500))
+        daemon.run_to_steady_state()
+        before = hypervisor.footprint_pages()
+        mapping = hypervisor.unmerge_page(vms[0], 0)
+        assert hypervisor.footprint_pages() == before + 1
+        assert not mapping.mergeable
+        assert vms[0].translate(0) != vms[1].translate(0)
+        # Content preserved.
+        assert np.array_equal(
+            hypervisor.guest_read(vms[0], 0),
+            hypervisor.guest_read(vms[1], 0),
+        )
+        hypervisor.verify_consistency()
+
+    def test_unmerged_page_never_remerges(self, hypervisor, rng):
+        vms = populate(hypervisor, rng, n_vms=2)
+        daemon = KSMDaemon(hypervisor, KSMConfig(pages_to_scan=500))
+        daemon.run_to_steady_state()
+        hypervisor.unmerge_page(vms[0], 0)
+        after_unmerge = hypervisor.footprint_pages()
+        daemon.run_to_steady_state()
+        assert hypervisor.footprint_pages() == after_unmerge
+
+    def test_unmerge_private_page_noop_footprint(self, hypervisor, rng):
+        vms = populate(hypervisor, rng, n_vms=2)
+        before = hypervisor.footprint_pages()
+        hypervisor.unmerge_page(vms[0], 2)  # unique page
+        assert hypervisor.footprint_pages() == before
