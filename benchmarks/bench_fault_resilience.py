@@ -1,0 +1,135 @@
+"""Fault resilience: chaos campaigns over the merging stack.
+
+Regenerates the robustness evidence for the fault-injection subsystem:
+
+* the content invariant — merged pages are byte-identical to their
+  sources under *every* injected fault class, at every rate tried;
+* graceful degradation — with the governor falling back to software KSM,
+  savings at a 1e-3 per-line fault rate stay within 10% of fault-free
+  software KSM instead of collapsing;
+* determinism — a campaign replayed under the same seed produces a
+  bit-identical observable trajectory (fingerprint equality).
+
+Set ``REPRO_BENCH_FAST=1`` for smoke scale.
+"""
+
+import os
+
+import pytest
+
+from repro.analysis import format_fault_campaign
+from repro.faults import FaultPlan, run_fault_campaign, run_fault_suite
+
+FAST = bool(int(os.environ.get("REPRO_BENCH_FAST", "0")))
+
+#: Per-line fault rates for the savings-vs-rate curve (churn off so the
+#: page population is identical across points).
+SWEEP_RATES = (0.0, 1e-4, 1e-3, 5e-3)
+SWEEP_SCALE = dict(pages_per_vm=60, n_vms=3, intervals=6)
+
+pytestmark = pytest.mark.slow
+
+
+@pytest.fixture(scope="module")
+def suite():
+    """The three-mode chaos suite at the 1e-3 headline rate (cached)."""
+    return run_fault_suite(app="moses", seed=0, rate=1e-3, quick=FAST)
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return [
+        run_fault_campaign(
+            mode="pageforge", seed=0,
+            plan=FaultPlan.uniform(rate, seed=0) if rate else
+            FaultPlan.quiet(seed=0),
+            **SWEEP_SCALE,
+        )
+        for rate in SWEEP_RATES
+    ]
+
+
+def test_fault_campaign_summary(benchmark, suite):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    print()
+    print(format_fault_campaign(suite))
+
+
+def test_no_content_corruption_at_any_rate(benchmark, suite, sweep):
+    def check():
+        """The headline invariant: chaos never corrupts guest memory."""
+        for result in suite.values():
+            assert result.content_violations == 0, result.mode
+            assert result.consistency_violations == 0, result.mode
+        for rate, result in zip(SWEEP_RATES, sweep):
+            assert result.content_violations == 0, rate
+            assert result.consistency_violations == 0, rate
+
+    benchmark.pedantic(check, rounds=1, iterations=1)
+    print("\nSavings vs per-line fault rate (PageForge, governor on):")
+    print(f"{'rate':>8s} {'savings':>8s} {'retries':>8s} {'poisoned':>9s} "
+          f"{'degraded':>9s}")
+    for rate, r in zip(SWEEP_RATES, sweep):
+        print(f"{rate:>8.0e} {r.savings_frac:>8.2%} {r.batch_retries:>8d} "
+              f"{r.candidates_poisoned:>9d} "
+              f"{r.intervals_degraded:>4d}/{r.intervals_run:<4d}")
+
+
+def test_degraded_savings_within_10pct_of_ksm(benchmark, suite, sweep):
+    def check():
+        """Graceful degradation, quantified: at 1e-3 the governor keeps
+        PageForge within 10% of what fault-free software KSM saves.
+        Both campaigns run churn-free so the page population (and hence
+        the savings denominator) is identical."""
+        ksm_clean = run_fault_campaign(
+            mode="ksm", seed=0, plan=FaultPlan.quiet(seed=0), **SWEEP_SCALE,
+        )
+        pf = sweep[SWEEP_RATES.index(1e-3)]
+        assert ksm_clean.savings_frac > 0
+        assert pf.savings_frac >= 0.9 * ksm_clean.savings_frac, (
+            pf.savings_frac, ksm_clean.savings_frac
+        )
+        # Under the full churny suite plan the same holds against KSM
+        # run under that same plan (same destroyed VMs, same unmerges).
+        assert suite["pageforge"].savings_frac >= \
+            0.9 * suite["ksm"].savings_frac
+        return pf.savings_frac, ksm_clean.savings_frac
+
+    pf_savings, ksm_savings = benchmark.pedantic(
+        check, rounds=1, iterations=1
+    )
+    print(f"\nPageForge @1e-3 faults: {pf_savings:.2%} saved; "
+          f"fault-free KSM: {ksm_savings:.2%} "
+          f"(ratio {pf_savings / ksm_savings:.1%})")
+
+
+def test_campaign_fingerprint_reproducible(benchmark, suite):
+    def check():
+        """Same seed, same plan -> bit-identical trajectory."""
+        plan = FaultPlan.uniform(1e-3, seed=0, churn=True)
+        kwargs = dict(mode="pageforge", plan=plan, seed=0,
+                      pages_per_vm=30, n_vms=3, intervals=3)
+        first = run_fault_campaign(**kwargs)
+        second = run_fault_campaign(**kwargs)
+        assert first.fingerprint == second.fingerprint
+        assert first.injected == second.injected
+        assert first.footprint_pages == second.footprint_pages
+        return first.fingerprint
+
+    fingerprint = benchmark.pedantic(check, rounds=1, iterations=1)
+    print(f"\ncampaign fingerprint (seed 0): {fingerprint}")
+
+
+def test_faults_actually_fired(benchmark, suite):
+    def check():
+        """Guard against a silently-quiet campaign: every line-fault
+        class fired and the recovery machinery did real work."""
+        inj = suite["pageforge"].injected
+        for key in ("single_bit_flips", "double_bit_flips",
+                    "silent_corruptions", "requests_dropped",
+                    "latency_spikes"):
+            assert inj[key] > 0, key
+        assert suite["pageforge"].batch_retries > 0
+        assert suite["pageforge"].corrected_words > 0
+
+    benchmark.pedantic(check, rounds=1, iterations=1)

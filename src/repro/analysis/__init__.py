@@ -6,6 +6,7 @@ benchmark or example.
 """
 
 from repro.analysis.report import (
+    format_fault_campaign,
     format_fig7_memory_savings,
     format_fig8_hash_keys,
     format_fig9_mean_latency,
@@ -18,6 +19,7 @@ from repro.analysis.report import (
 )
 
 __all__ = [
+    "format_fault_campaign",
     "format_fig10_tail_latency",
     "format_fig11_bandwidth",
     "format_fig7_memory_savings",

@@ -73,6 +73,40 @@ def hash_study_to_rows(results):
     } for r in results]
 
 
+def faults_to_rows(results):
+    """Chaos-suite results ({mode: CampaignResult}) -> flat rows."""
+    rows = []
+    for mode in ("baseline", "ksm", "pageforge"):
+        r = results.get(mode)
+        if r is None:
+            continue
+        rows.append({
+            "app": r.app_name,
+            "mode": mode,
+            "seed": r.seed,
+            "intervals": r.intervals_run,
+            "savings_frac": round(r.savings_frac, 4),
+            "merges": r.merges,
+            "merge_rollbacks": r.merge_rollbacks,
+            "content_violations": r.content_violations,
+            "consistency_violations": r.consistency_violations,
+            "walk_failures": r.walk_failures,
+            "candidates_poisoned": r.candidates_poisoned,
+            "batch_retries": r.batch_retries,
+            "batches_abandoned": r.batches_abandoned,
+            "expired_reads": r.expired_reads,
+            "corrected_words": r.corrected_words,
+            "intervals_degraded": r.intervals_degraded,
+            "final_backend": r.final_backend,
+            "injected_total": sum(
+                v for k, v in r.injected.items()
+                if k not in ("lines_inspected", "walk_steps_inspected")
+            ),
+            "fingerprint": r.fingerprint,
+        })
+    return rows
+
+
 def rows_to_csv(rows, path=None):
     """Serialise rows to CSV; returns the text (and writes if ``path``)."""
     if not rows:

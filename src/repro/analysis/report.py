@@ -220,6 +220,69 @@ def format_table4_ksm_characterization(results):
     return "\n".join(lines)
 
 
+def format_fault_campaign(results):
+    """Resilience summary of one chaos suite ({mode: CampaignResult}).
+
+    One row per mode plus a per-subsystem fault/recovery breakdown for
+    the PageForge run — the paper's safety argument as a table: injected
+    faults on the left, zero content violations on the right.
+    """
+    lines = [
+        "Fault-injection campaign: savings and invariants under chaos",
+        _rule(),
+        f"{'mode':>10s} {'savings':>8s} {'merges':>7s} {'rollbk':>7s} "
+        f"{'content-viol':>13s} {'consist-viol':>13s} {'backend':>9s}",
+        _rule(),
+    ]
+    for mode in ("baseline", "ksm", "pageforge"):
+        r = results.get(mode)
+        if r is None:
+            continue
+        lines.append(
+            f"{mode:>10s} {r.savings_frac:>8.2%} {r.merges:>7d} "
+            f"{r.merge_rollbacks:>7d} {r.content_violations:>13d} "
+            f"{r.consistency_violations:>13d} "
+            f"{r.final_backend or '-':>9s}"
+        )
+    lines.append(_rule())
+    pf = results.get("pageforge")
+    if pf is not None:
+        inj = pf.injected
+        lines += [
+            "PageForge fault/recovery breakdown:",
+            f"  injected: {inj.get('single_bit_flips', 0)} single-bit, "
+            f"{inj.get('double_bit_flips', 0)} double-bit, "
+            f"{inj.get('silent_corruptions', 0)} silent, "
+            f"{inj.get('requests_dropped', 0)} drops, "
+            f"{inj.get('latency_spikes', 0)} spikes, "
+            f"{inj.get('table_corruptions', 0)} table SEUs, "
+            f"{inj.get('vms_destroyed', 0)} VMs destroyed, "
+            f"{inj.get('pages_unmerged', 0)} pages unmerged",
+            f"  recovered: {pf.batch_retries} batch retries, "
+            f"{pf.batches_abandoned} abandoned, "
+            f"{pf.walk_failures} walk failures, "
+            f"{pf.candidates_poisoned} candidates poisoned, "
+            f"{pf.expired_reads} expired reads, "
+            f"{pf.corrected_words} ECC words corrected",
+            f"  governor: transitions {pf.backend_transitions}, "
+            f"{pf.intervals_degraded}/{pf.intervals_run} intervals degraded",
+            f"  fingerprint: {pf.fingerprint}",
+        ]
+        ksm = results.get("ksm")
+        if ksm is not None and ksm.savings_frac > 0:
+            lines.append(
+                f"  savings vs software KSM under same plan: "
+                f"{pf.savings_frac / ksm.savings_frac:.1%}"
+            )
+    clean = all(r.clean for r in results.values())
+    lines.append(_rule())
+    lines.append(
+        "invariant 'merged content is byte-identical to its sources': "
+        + ("HELD under every fault class" if clean else "VIOLATED")
+    )
+    return "\n".join(lines)
+
+
 def format_table5_pageforge(results, power_model):
     """Table 5: PageForge design characteristics."""
     cycles = [

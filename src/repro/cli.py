@@ -5,6 +5,7 @@ Commands map one-to-one onto the paper's experiments:
 * ``savings``   — Figure 7 (memory footprint with/without merging);
 * ``hashkeys``  — Figure 8 (jhash vs ECC key outcomes);
 * ``latency``   — Figures 9/10/11 + Tables 4/5 for chosen apps;
+* ``faults``    — seeded chaos campaigns (fault injection + degradation);
 * ``demo``      — the 30-second quickstart merge demo;
 * ``config``    — print Table 2 (the architecture in force).
 
@@ -15,6 +16,7 @@ import argparse
 import sys
 
 from repro.analysis import (
+    format_fault_campaign,
     format_fig7_memory_savings,
     format_fig8_hash_keys,
     format_fig9_mean_latency,
@@ -25,6 +27,7 @@ from repro.analysis import (
     format_table5_pageforge,
 )
 from repro.analysis.export import (
+    faults_to_rows,
     hash_study_to_rows,
     latency_to_rows,
     rows_to_csv,
@@ -112,6 +115,17 @@ def cmd_latency(args):
     return 0
 
 
+def cmd_faults(args):
+    from repro.faults import run_fault_suite
+
+    results = run_fault_suite(
+        app=args.app, seed=args.seed, rate=args.rate, quick=args.quick,
+    )
+    print(format_fault_campaign(results))
+    _export(faults_to_rows(results), args)
+    return 0 if all(r.clean for r in results.values()) else 1
+
+
 def cmd_demo(args):
     from repro import quick_merge_demo
 
@@ -152,6 +166,18 @@ def build_parser():
     p.add_argument("--duration", type=float, default=0.6)
     p.add_argument("--warmup", type=float, default=0.8)
     p.set_defaults(func=cmd_latency)
+
+    p = sub.add_parser("faults",
+                       help="seeded chaos campaigns across merge engines")
+    p.add_argument("--csv", help="write result rows to a CSV file")
+    p.add_argument("--json", help="write result rows to a JSON file")
+    p.add_argument("--app", default="moses", choices=list(TAILBENCH_APPS))
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--rate", type=float, default=1e-3,
+                   help="per-line fault rate for the uniform plan")
+    p.add_argument("--quick", action="store_true",
+                   help="small fleet for CI smoke runs")
+    p.set_defaults(func=cmd_faults)
 
     p = sub.add_parser("demo", help="30-second merge demo")
     p.add_argument("--vms", type=int, default=2)

@@ -153,6 +153,59 @@ class PageForgeConfig:
 
 
 @dataclass(frozen=True)
+class ResilienceConfig:
+    """Fault-tolerance tuning: the driver's retry path and the
+    degradation governor's fallback thresholds.
+
+    Retry path (``repro.core.driver``):
+
+    * ``max_batch_retries`` — how many times a failed Scan-Table batch
+      (dropped memory request, uncorrectable ECC line on a tree page,
+      detected table corruption) is re-armed before the candidate is
+      skipped for the pass (skip-and-report).
+    * ``retry_backoff_cycles`` — engine-clock cycles the OS driver waits
+      before the first retry; the wait doubles on every further attempt.
+
+    Degradation governor (``repro.faults.governor``) — decides when the
+    PageForge backend is unhealthy enough that the merge daemon should
+    fall back to software KSM, and when to return:
+
+    * ``fallback_fault_rate`` — observed hardware faults per line read
+      (EWMA) above which the driver falls back to software KSM.
+      "Observed" means what a real OS can see: corrected-ECC events,
+      uncorrectable machine checks, request drops, and detected
+      Scan-Table corruption — silent errors are invisible here and are
+      instead caught by the merge-time lockstep compare.
+    * ``recovery_fault_rate`` — EWMA below which the governor returns to
+      the hardware backend.  Must be < ``fallback_fault_rate``; the gap
+      is the hysteresis that prevents flapping at the threshold.
+    * ``ewma_alpha`` — weight of the newest interval in the fault-rate
+      EWMA (1.0 = no smoothing).
+    * ``probe_interval`` — while degraded, every Nth merge interval
+      still runs on the hardware so the governor gathers fresh evidence
+      (a fully software fleet would never observe the fault regime
+      subsiding).
+    * ``recovery_probes`` — consecutive healthy probes required before
+      recovering (debounce against a lucky quiet probe).
+    """
+
+    max_batch_retries: int = 3
+    retry_backoff_cycles: int = 2_000
+    fallback_fault_rate: float = 2e-4
+    recovery_fault_rate: float = 5e-5
+    ewma_alpha: float = 0.5
+    probe_interval: int = 4
+    recovery_probes: int = 2
+
+    def __post_init__(self):
+        if self.recovery_fault_rate >= self.fallback_fault_rate:
+            raise ValueError(
+                "recovery_fault_rate must be below fallback_fault_rate "
+                "(hysteresis)"
+            )
+
+
+@dataclass(frozen=True)
 class ApplicationConfig:
     """One TailBench application: load (Table 3) and service-time scale.
 

@@ -16,16 +16,36 @@ walks an explicit page graph.
 
 from dataclasses import dataclass
 
-from repro.common.config import KSMConfig, PageForgeConfig
+from repro.common.config import KSMConfig, PageForgeConfig, ResilienceConfig
 from repro.core.api import PageForgeAPI
 from repro.core.engine import PageForgeEngine
 from repro.core.scan_table import (
+    ScanTableCorruption,
     decode_miss_sentinel,
     is_miss_sentinel,
     miss_sentinel,
 )
-from repro.ksm.daemon import KSMDaemon, StaleNodeError
+from repro.ksm.daemon import KSMDaemon, StaleNodeError, WalkFailure
+from repro.ksm.jhash import page_checksum
 from repro.ksm.rbtree import WalkOutcome
+from repro.mem.controller import RequestDropped, UncorrectableLineError
+
+#: Fault classes that abort one Scan-Table batch but leave the engine
+#: re-triggerable — the driver's retry path handles exactly these.
+BATCH_FAULTS = (ScanTableCorruption, UncorrectableLineError, RequestDropped)
+
+
+@dataclass
+class DriverResilienceStats:
+    """Recovery-path accounting (all zero in a fault-free run)."""
+
+    batch_retries: int = 0
+    batches_abandoned: int = 0
+    table_corruptions: int = 0
+    requests_dropped: int = 0
+    uncorrectable_lines: int = 0
+    candidates_poisoned: int = 0
+    backoff_cycles: int = 0
 
 
 @dataclass
@@ -39,10 +59,12 @@ class _Batch:
 class PageForgeTreeStrategy:
     """Hardware red-black-tree walks over the Scan Table."""
 
-    def __init__(self, api, hypervisor):
+    def __init__(self, api, hypervisor, resilience=None):
         self.api = api
         self.hypervisor = hypervisor
         self.engine = api.engine
+        self.resilience = resilience or ResilienceConfig()
+        self.fault_stats = DriverResilienceStats()
         self.now = 0.0  # simulation time for bandwidth accounting
         self.cycles_consumed = 0  # engine cycles since last drain
         self.table_refills = 0
@@ -58,7 +80,10 @@ class PageForgeTreeStrategy:
             return payload[1]
         if payload[0] == "unstable":
             _tag, vm_id, gpn = payload
-            return self.hypervisor.vms[vm_id].mapping(gpn).ppn
+            vm = self.hypervisor.vms.get(vm_id)
+            if vm is None:
+                raise StaleNodeError(f"VM{vm_id} destroyed")
+            return vm.mapping(gpn).ppn
         raise ValueError(f"unknown node payload: {payload!r}")
 
     # Batch construction ----------------------------------------------------------------
@@ -110,6 +135,51 @@ class PageForgeTreeStrategy:
         self.now += cycles / self._freq
         return cycles
 
+    # Recovery path (skip-and-report with bounded retries) -------------------------------
+
+    def _batch_failed(self, exc, candidate_ppn, attempts):
+        """Handle one failed Scan-Table batch; returns to let the caller
+        retry, or raises :class:`WalkFailure` to give up on the candidate.
+
+        An uncorrectable ECC error on the *candidate's own* lines is not
+        retried: the page's stored content cannot be trusted, so it is
+        poisoned immediately (``WalkFailure(poison=True)``).  Everything
+        else — corruption of the Scan-Table SRAM, dropped requests,
+        uncorrectable lines on tree pages — is transient from the OS's
+        point of view and is retried with exponential backoff, up to
+        ``resilience.max_batch_retries`` times.
+        """
+        stats = self.fault_stats
+        if isinstance(exc, ScanTableCorruption):
+            stats.table_corruptions += 1
+        elif isinstance(exc, RequestDropped):
+            stats.requests_dropped += 1
+        elif isinstance(exc, UncorrectableLineError):
+            stats.uncorrectable_lines += 1
+        # The aborted walk may leave reads in flight; drop them so the
+        # retry starts from a clean request buffer.
+        self.engine.controller.flush_pending()
+        if (
+            isinstance(exc, UncorrectableLineError)
+            and exc.ppn == candidate_ppn
+        ):
+            stats.candidates_poisoned += 1
+            raise WalkFailure(
+                f"candidate PPN {candidate_ppn} has an uncorrectable line",
+                poison=True, cause=exc,
+            ) from exc
+        if attempts > self.resilience.max_batch_retries:
+            stats.batches_abandoned += 1
+            raise WalkFailure(
+                f"batch failed {attempts} times, giving up: {exc}",
+                cause=exc,
+            ) from exc
+        stats.batch_retries += 1
+        backoff = self.resilience.retry_backoff_cycles << (attempts - 1)
+        stats.backoff_cycles += backoff
+        self.cycles_consumed += backoff
+        self.now += backoff / self._freq
+
     # The walk --------------------------------------------------------------------------
 
     def walk(self, tree, frame):
@@ -130,12 +200,7 @@ class PageForgeTreeStrategy:
         if len(tree) == 0:
             # Nothing to compare, but the hash key must still be produced
             # (stable-tree search generates it in the background).
-            self.api.clear_entries()
-            if same_candidate:
-                self.api.update_PFE(last_refill=True, ptr=0)
-            else:
-                self.api.insert_PFE(candidate_ppn, last_refill=True, ptr=0)
-            self._trigger()
+            self._forced_hash_scan(candidate_ppn)
             return WalkOutcome(
                 match=None, parent=None, direction="root",
                 comparisons=0, bytes_compared=0,
@@ -143,19 +208,35 @@ class PageForgeTreeStrategy:
 
         start = tree.root
         first_trigger = True
+        attempts = 0
         while True:
-            batch = self._load_batch(tree, start)
-            if first_trigger and not same_candidate:
-                self.api.insert_PFE(
-                    candidate_ppn, last_refill=batch.is_last, ptr=0
-                )
-            else:
-                self.api.update_PFE(last_refill=batch.is_last, ptr=0)
-            first_trigger = False
-            self._trigger()
-            info = self.api.get_PFE_info()
-            if not info.scanned:
-                raise RuntimeError("engine returned without Scanned set")
+            try:
+                batch = self._load_batch(tree, start)
+                if first_trigger and not same_candidate:
+                    self.api.insert_PFE(
+                        candidate_ppn, last_refill=batch.is_last, ptr=0
+                    )
+                else:
+                    self.api.update_PFE(last_refill=batch.is_last, ptr=0)
+                first_trigger = False
+                self._trigger()
+                info = self.api.get_PFE_info()
+                if not info.scanned:
+                    raise ScanTableCorruption(
+                        "engine returned without Scanned set"
+                    )
+                if not info.duplicate and not is_miss_sentinel(info.ptr):
+                    # A fault steered Ptr into dead table space; the OS
+                    # cannot decode where the walk stopped.
+                    raise ScanTableCorruption(
+                        f"walk stopped at unexpected Ptr {info.ptr}",
+                        ptr=info.ptr,
+                    )
+            except BATCH_FAULTS as exc:
+                attempts += 1
+                self._batch_failed(exc, candidate_ppn, attempts)
+                continue  # re-arm the same batch
+            attempts = 0
 
             comparisons = stats.page_comparisons - comps_before
             bytes_compared = (
@@ -169,10 +250,6 @@ class PageForgeTreeStrategy:
                     comparisons=comparisons, bytes_compared=bytes_compared,
                 )
 
-            if not is_miss_sentinel(info.ptr):
-                raise RuntimeError(
-                    f"walk stopped at unexpected Ptr {info.ptr}"
-                )
             entry_index, direction = decode_miss_sentinel(info.ptr)
             stopped_at = batch.nodes[entry_index]
             left, right = tree.children(stopped_at)
@@ -187,6 +264,29 @@ class PageForgeTreeStrategy:
 
     # Hash keys ------------------------------------------------------------------------
 
+    def _forced_hash_scan(self, candidate_ppn):
+        """Empty-table scan with Last-Refill, retried on batch faults.
+
+        The hash-key fill reads touch only the candidate's own lines, so
+        an uncorrectable error here always poisons (via _batch_failed).
+        """
+        attempts = 0
+        while True:
+            try:
+                self.api.clear_entries()
+                pfe = self.api.table.pfe
+                if pfe.valid and pfe.ppn == candidate_ppn:
+                    self.api.update_PFE(last_refill=True, ptr=0)
+                else:
+                    self.api.insert_PFE(
+                        candidate_ppn, last_refill=True, ptr=0
+                    )
+                self._trigger()
+                return
+            except BATCH_FAULTS as exc:
+                attempts += 1
+                self._batch_failed(exc, candidate_ppn, attempts)
+
     def checksum(self, frame):
         """The candidate's ECC hash key, as produced by the hardware.
 
@@ -196,12 +296,7 @@ class PageForgeTreeStrategy:
         """
         pfe = self.api.table.pfe
         if not (pfe.valid and pfe.ppn == frame.ppn and pfe.hash_ready):
-            self.api.clear_entries()
-            if pfe.valid and pfe.ppn == frame.ppn:
-                self.api.update_PFE(last_refill=True, ptr=0)
-            else:
-                self.api.insert_PFE(frame.ppn, last_refill=True, ptr=0)
-            self._trigger()
+            self._forced_hash_scan(frame.ppn)
         info = self.api.get_PFE_info()
         if not info.hash_ready:
             raise RuntimeError("hash key not ready after forced completion")
@@ -296,12 +391,14 @@ class PageForgeMergeDriver:
     """
 
     def __init__(self, hypervisor, controller, bus=None, ksm_config=None,
-                 pf_config=None, line_sampling=1):
+                 pf_config=None, line_sampling=1, resilience=None):
         self.config = pf_config or PageForgeConfig()
         self.engine = PageForgeEngine(controller, bus=bus, config=self.config,
                                       line_sampling=line_sampling)
         self.api = PageForgeAPI(self.engine)
-        self.strategy = PageForgeTreeStrategy(self.api, hypervisor)
+        self.strategy = PageForgeTreeStrategy(
+            self.api, hypervisor, resilience=resilience
+        )
         self.daemon = KSMDaemon(
             hypervisor,
             config=ksm_config or KSMConfig(),
@@ -309,6 +406,7 @@ class PageForgeMergeDriver:
             checksum_fn=self.strategy.checksum,
             checksum_bytes=64 * len(self.config.ecc_hash_line_offsets),
         )
+        self.backend = "hardware"
 
     @property
     def stats(self):
@@ -317,6 +415,60 @@ class PageForgeMergeDriver:
     @property
     def hw_stats(self):
         return self.engine.stats
+
+    @property
+    def fault_stats(self):
+        return self.strategy.fault_stats
+
+    # Graceful degradation --------------------------------------------------------------
+
+    def set_backend(self, backend):
+        """Switch the daemon between PageForge and software KSM.
+
+        Called by the degradation governor when the hardware fault rate
+        crosses its thresholds.  "software" unplugs the strategy hooks so
+        the *same* daemon runs pure KSM (jhash2 checksums, CPU tree
+        walks); "hardware" plugs them back.  Stored checksums keep their
+        old keyspace across a switch, so the first pass after switching
+        sees spurious mismatches — one pass of lost merges, no
+        correctness impact.
+        """
+        if backend == self.backend:
+            return
+        daemon = self.daemon
+        if backend == "software":
+            daemon.search_strategy = None
+            daemon.checksum_fn = lambda frame: page_checksum(
+                frame.data, n_bytes=daemon.config.hash_bytes
+            )
+            daemon.checksum_bytes_cost = daemon.config.hash_bytes
+        elif backend == "hardware":
+            daemon.search_strategy = self.strategy
+            daemon.checksum_fn = self.strategy.checksum
+            daemon.checksum_bytes_cost = 64 * len(
+                self.config.ecc_hash_line_offsets
+            )
+        else:
+            raise ValueError(f"unknown backend: {backend!r}")
+        self.backend = backend
+
+    def fault_observations(self):
+        """Cumulative ``(observable_fault_events, lines_fetched)``.
+
+        Events are what a real OS can see — corrected-ECC telemetry from
+        the controller plus the driver's own failure counters; silent
+        corruption is by definition absent.  The governor differences
+        successive snapshots to estimate a per-line fault rate.
+        """
+        ecc_stats = self.engine.controller.ecc.stats
+        fs = self.strategy.fault_stats
+        events = (
+            ecc_stats.words_corrected
+            + fs.table_corruptions
+            + fs.requests_dropped
+            + fs.uncorrectable_lines
+        )
+        return events, self.engine.stats.lines_fetched
 
     def scan_pages(self, n_pages=None, now=0.0):
         """One work interval at simulation time ``now``."""

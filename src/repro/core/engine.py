@@ -20,7 +20,11 @@ import numpy as np
 from repro.common.config import PageForgeConfig
 from repro.common.units import LINES_PER_PAGE
 from repro.core.hashkey import ECCHashKeyGenerator
-from repro.core.scan_table import ScanTable
+from repro.core.scan_table import (
+    ScanTable,
+    ScanTableCorruption,
+    pointer_sane,
+)
 from repro.mem.requests import AccessSource
 
 
@@ -72,6 +76,12 @@ class PageForgeEngine:
         )
         self.stats = PageForgeStats()
         self.busy = False
+        # Optional fault-injection hook (repro.faults.injector): called
+        # once per walk step as hook(table, current_ptr) and free to
+        # corrupt Less/More indices or drop V bits.  Models SEUs in the
+        # Scan-Table SRAM; the walk guards below turn the damage into a
+        # typed ScanTableCorruption instead of a hang.
+        self.walk_fault_hook = None
         # line_sampling > 1 switches the comparator to a faster model:
         # the comparison outcome is computed exactly, but only every Nth
         # line takes the fully timed fetch path (the rest are accounted
@@ -225,31 +235,58 @@ class PageForgeEngine:
         self.busy = True
         cycles = 0
         frequency = self.controller.dram.cpu_frequency_hz
-        while self.table.index_valid(pfe.ptr):
-            entry = self.table.entry(pfe.ptr)
-            now = time_seconds + cycles / frequency
-            sign, compare_cycles = self._compare_with_entry(
-                pfe.ppn, entry.ppn, now
-            )
-            cycles += compare_cycles
-            self.stats.page_comparisons += 1
-            if sign == 0:
-                pfe.duplicate = True
-                self.stats.duplicates_found += 1
-                break
-            pfe.ptr = entry.less if sign < 0 else entry.more
+        visited = set()
+        try:
+            while self.table.index_valid(pfe.ptr):
+                if pfe.ptr in visited:
+                    raise ScanTableCorruption(
+                        f"Less/More cycle through entry {pfe.ptr}",
+                        ptr=pfe.ptr,
+                    )
+                visited.add(pfe.ptr)
+                if self.walk_fault_hook is not None:
+                    self.walk_fault_hook(self.table, pfe.ptr)
+                    if not self.table.index_valid(pfe.ptr):
+                        # The entry under comparison lost its V bit: its
+                        # fields are garbage now, abort rather than read.
+                        raise ScanTableCorruption(
+                            f"entry {pfe.ptr} invalidated under the walk",
+                            ptr=pfe.ptr,
+                        )
+                entry = self.table.entry(pfe.ptr)
+                now = time_seconds + cycles / frequency
+                sign, compare_cycles = self._compare_with_entry(
+                    pfe.ppn, entry.ppn, now
+                )
+                cycles += compare_cycles
+                self.stats.page_comparisons += 1
+                if sign == 0:
+                    pfe.duplicate = True
+                    self.stats.duplicates_found += 1
+                    break
+                nxt = entry.less if sign < 0 else entry.more
+                if not pointer_sane(nxt, self.table.n_entries):
+                    raise ScanTableCorruption(
+                        f"entry {pfe.ptr} {'Less' if sign < 0 else 'More'} "
+                        f"holds undecodable index {nxt}",
+                        ptr=nxt,
+                    )
+                pfe.ptr = nxt
 
-        # Duplicate found or last batch: force hash-key completion.
-        if (pfe.last_refill or pfe.duplicate) and not self.keygen.ready:
-            now = time_seconds + cycles / frequency
-            cycles += self._complete_hash_key(pfe.ppn, now)
+            # Duplicate found or last batch: force hash-key completion.
+            if (pfe.last_refill or pfe.duplicate) and not self.keygen.ready:
+                now = time_seconds + cycles / frequency
+                cycles += self._complete_hash_key(pfe.ppn, now)
+        finally:
+            # A fault abort (table corruption, uncorrectable line, dropped
+            # request) must leave the engine triggerable for the retry.
+            self.busy = False
         if self.keygen.ready and not pfe.hash_ready:
             pfe.hash_key = self.keygen.key()
             pfe.hash_ready = True
             self.stats.hash_keys_completed += 1
 
         pfe.scanned = True
-        self.busy = False
         self.stats.tables_processed += 1
         self.stats.total_cycles += cycles
         self.stats.table_cycles.append(cycles)

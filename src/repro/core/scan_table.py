@@ -26,6 +26,38 @@ INVALID_INDEX = -1
 _SENTINEL_BASE = 1 << 8  # comfortably outside any real entry index
 
 
+class ScanTableCorruption(RuntimeError):
+    """The engine observed an impossible Scan-Table state mid-walk.
+
+    Raised instead of hanging (a Less/More cycle), reading garbage (the
+    current entry's V bit dropped under the walk), or handing the OS an
+    undecodable ``Ptr`` (a pointer that is neither an entry index, a miss
+    sentinel, nor ``INVALID_INDEX``).  The OS driver treats it as a
+    failed batch: flush, back off, retry.
+    """
+
+    def __init__(self, message, ptr=None):
+        super().__init__(message)
+        self.ptr = ptr
+
+
+def pointer_sane(index, n_entries):
+    """True if ``index`` is decodable walk state for an ``n_entries`` table.
+
+    Sane values are an in-range entry index (valid or not — a clear V bit
+    just stops the walk), ``INVALID_INDEX``, or a miss sentinel naming an
+    in-range entry.  Anything else is bit rot.
+    """
+    if index == INVALID_INDEX:
+        return True
+    if 0 <= index < n_entries:
+        return True
+    if is_miss_sentinel(index):
+        entry_index, _direction = decode_miss_sentinel(index)
+        return 0 <= entry_index < n_entries
+    return False
+
+
 def miss_sentinel(entry_index, direction):
     """Encode an out-of-table continuation as an invalid index.
 

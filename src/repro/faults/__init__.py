@@ -1,0 +1,29 @@
+"""Deterministic fault injection and graceful degradation.
+
+``plan``     — what to break and how often (:class:`FaultPlan`);
+``injector`` — realises a plan against the memory controller's read path
+               and the engine's Scan-Table walk (:class:`FaultInjector`);
+``governor`` — hysteretic PageForge -> software-KSM fallback
+               (:class:`DegradationGovernor`);
+``campaign`` — seeded chaos runs with per-interval invariant checks
+               (:func:`run_fault_campaign`).
+"""
+
+from repro.faults.campaign import (
+    CampaignResult,
+    run_fault_campaign,
+    run_fault_suite,
+)
+from repro.faults.governor import DegradationGovernor
+from repro.faults.injector import FaultInjectionStats, FaultInjector
+from repro.faults.plan import FaultPlan
+
+__all__ = [
+    "CampaignResult",
+    "DegradationGovernor",
+    "FaultInjectionStats",
+    "FaultInjector",
+    "FaultPlan",
+    "run_fault_campaign",
+    "run_fault_suite",
+]

@@ -1,0 +1,84 @@
+"""The degradation governor: PageForge -> software KSM and back.
+
+A wrong-but-fast merging engine is worse than a slow-but-right one, so
+when the observed hardware fault rate (corrected-ECC telemetry, machine
+checks, dropped requests, detected Scan-Table corruption — everything a
+real OS can see) crosses a threshold, the governor unplugs the PageForge
+strategy hooks and lets the *same* KSM daemon continue in software.
+Savings then converge to software-KSM levels instead of collapsing.
+
+While degraded, every ``probe_interval``-th merge interval still runs on
+the hardware: a fully software fleet would never observe the fault regime
+subsiding.  ``recovery_probes`` consecutive healthy probes (EWMA back
+under ``recovery_fault_rate``) flip it back.  The gap between the two
+thresholds is deliberate hysteresis.
+
+The governor is a pure state machine: callers feed it cumulative
+``(events, lines)`` snapshots (``PageForgeMergeDriver.fault_observations``)
+once per interval and apply its ``plan_interval()`` decision via
+``set_backend`` — it never touches the driver itself, which keeps it
+trivially testable.
+"""
+
+from repro.common.config import ResilienceConfig
+
+
+class DegradationGovernor:
+    """Hysteretic fallback controller for one PageForge driver."""
+
+    def __init__(self, config=None):
+        self.config = config or ResilienceConfig()
+        self.backend = "hardware"
+        self.ewma = 0.0
+        self.transitions = []  # (interval_index, new_backend)
+        self.intervals_degraded = 0
+        self._interval_index = 0
+        self._healthy_probes = 0
+        self._last_events = 0
+        self._last_lines = 0
+
+    def plan_interval(self):
+        """Which backend the *next* interval should run on."""
+        if self.backend == "hardware":
+            return "hardware"
+        if self._interval_index % self.config.probe_interval == 0:
+            return "hardware"  # probe for recovery evidence
+        return "software"
+
+    def observe(self, events, lines):
+        """Feed one interval's cumulative observation counters.
+
+        ``events``/``lines`` are running totals; the governor works on
+        their deltas.  Software intervals produce no hardware lines and
+        leave the EWMA untouched (no evidence either way).  Returns the
+        backend after applying any transition.
+        """
+        delta_events = events - self._last_events
+        delta_lines = lines - self._last_lines
+        self._last_events, self._last_lines = events, lines
+        if self.backend == "software":
+            self.intervals_degraded += 1
+        self._interval_index += 1
+        if delta_lines <= 0:
+            return self.backend
+
+        rate = delta_events / delta_lines
+        alpha = self.config.ewma_alpha
+        self.ewma = alpha * rate + (1.0 - alpha) * self.ewma
+
+        if self.backend == "hardware":
+            if self.ewma >= self.config.fallback_fault_rate:
+                self._switch("software")
+        else:
+            if self.ewma <= self.config.recovery_fault_rate:
+                self._healthy_probes += 1
+                if self._healthy_probes >= self.config.recovery_probes:
+                    self._switch("hardware")
+            else:
+                self._healthy_probes = 0
+        return self.backend
+
+    def _switch(self, backend):
+        self.backend = backend
+        self._healthy_probes = 0
+        self.transitions.append((self._interval_index, backend))

@@ -1,0 +1,102 @@
+"""Fault plans: what to break, how often, under which seed.
+
+A :class:`FaultPlan` is pure data — the probabilities of each fault class
+plus the seed of the RNG streams that realise them.  The same plan run
+twice produces bit-identical fault schedules (``repro.common.rng`` names
+every stream), which is what makes chaos campaigns regression-testable.
+
+Fault classes, mapped to the hardware they model:
+
+=====================  ========================================================
+``single_bit_rate``    One flipped bit per affected DRAM line — SECDED
+                       corrects it; only telemetry changes.
+``double_bit_rate``    Two flipped bits in one codeword — detected but
+                       uncorrectable; the read raises.
+``silent_rate``        Multi-bit damage that aliases to a clean codeword —
+                       SECDED sees nothing; only the merge-time lockstep
+                       compare can catch the consequences.
+``drop_rate``          The request vanishes in the controller (lost
+                       completion); the driver retries.
+``latency_spike_rate`` The line arrives, but late (queueing glitch,
+                       refresh collision).
+``table_corruption_``  An SEU in the Scan-Table SRAM mid-walk: a V bit
+``rate``               drops or a Less/More pointer is overwritten.
+``vm_destroy_prob``    A tenant VM is torn down between merge intervals,
+                       racing the engine's stale Scan-Table/tree state.
+``unmerge_churn_prob`` madvise(UNMERGEABLE) churn: merged pages are
+                       forcibly un-shared and retired from merging.
+=====================  ========================================================
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Per-class fault probabilities (all default to a quiet plan)."""
+
+    seed: int = 0
+    # Per-line-read probabilities on the DRAM read path (mutually
+    # exclusive per read; their sum must stay below 1).
+    single_bit_rate: float = 0.0
+    double_bit_rate: float = 0.0
+    silent_rate: float = 0.0
+    drop_rate: float = 0.0
+    latency_spike_rate: float = 0.0
+    latency_spike_cycles: int = 5_000
+    # Per-walk-step probability of Scan-Table SRAM corruption.
+    table_corruption_rate: float = 0.0
+    # Per-merge-interval probabilities of VM lifecycle churn.
+    vm_destroy_prob: float = 0.0
+    unmerge_churn_prob: float = 0.0
+    unmerge_pages_per_event: int = 4
+
+    def __post_init__(self):
+        total = self.line_fault_rate
+        if not 0.0 <= total < 1.0:
+            raise ValueError(f"per-line fault rates sum to {total}")
+        for name in (
+            "table_corruption_rate", "vm_destroy_prob", "unmerge_churn_prob"
+        ):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} out of [0, 1]: {value}")
+
+    @property
+    def line_fault_rate(self):
+        """Total probability that one line read is affected."""
+        return (
+            self.single_bit_rate
+            + self.double_bit_rate
+            + self.silent_rate
+            + self.drop_rate
+            + self.latency_spike_rate
+        )
+
+    @classmethod
+    def quiet(cls, seed=0):
+        """No faults at all (control runs)."""
+        return cls(seed=seed)
+
+    @classmethod
+    def uniform(cls, rate, seed=0, table_rate=None, churn=False):
+        """Split a total per-line fault rate across the line classes.
+
+        The split (50% correctable / 15% uncorrectable / 10% silent /
+        15% drops / 10% spikes) loosely follows field studies where
+        correctable errors dominate.  ``table_rate`` defaults to the same
+        ``rate`` per walk step; ``churn=True`` adds VM lifecycle chaos
+        (which perturbs the page population, so savings-curve sweeps
+        leave it off).
+        """
+        return cls(
+            seed=seed,
+            single_bit_rate=0.50 * rate,
+            double_bit_rate=0.15 * rate,
+            silent_rate=0.10 * rate,
+            drop_rate=0.15 * rate,
+            latency_spike_rate=0.10 * rate,
+            table_corruption_rate=rate if table_rate is None else table_rate,
+            vm_destroy_prob=0.05 if churn else 0.0,
+            unmerge_churn_prob=0.30 if churn else 0.0,
+        )

@@ -26,6 +26,24 @@ class StaleNodeError(Exception):
     """A tree node whose backing page vanished or was remapped."""
 
 
+class WalkFailure(Exception):
+    """A hardware-backed search gave up on the current candidate.
+
+    Raised by a search strategy or hardware checksum function (see
+    ``repro.core.driver``) after its bounded retries are exhausted —
+    skip-and-report semantics: the daemon drops the candidate for this
+    pass and keeps scanning.  ``poison=True`` means the failure was a
+    detected-uncorrectable ECC error on the *candidate's own* lines:
+    the page's stored content is untrustworthy, so the daemon retires
+    it from merging entirely (page-offline semantics).
+    """
+
+    def __init__(self, message, poison=False, cause=None):
+        super().__init__(message)
+        self.poison = poison
+        self.cause = cause
+
+
 @dataclass
 class KSMWorkStats:
     """Work done by the daemon (one interval, or cumulative)."""
@@ -47,6 +65,9 @@ class KSMWorkStats:
     merge_verify_bytes: int = 0
     passes_completed: int = 0
     stale_nodes_pruned: int = 0
+    # Resilience accounting (only non-zero under fault injection).
+    walk_failures: int = 0
+    candidates_poisoned: int = 0
 
     def accumulate(self, other):
         for f in fields(self):
@@ -135,7 +156,9 @@ class KSMDaemon:
         hyp = self.hypervisor
 
         def key():
-            vm = hyp.vms[vm_id]
+            vm = hyp.vms.get(vm_id)
+            if vm is None:
+                raise StaleNodeError(f"VM{vm_id} destroyed")
             if not vm.is_mapped(gpn):
                 raise StaleNodeError(f"VM{vm_id} GPN {gpn} unmapped")
             mapping = vm.mapping(gpn)
@@ -234,8 +257,21 @@ class KSMDaemon:
         if not mapping.mergeable or mapping.cow:
             return  # already merged (stable) or opted out
         frame = hyp.memory.frame(mapping.ppn)
-        candidate_bytes = frame.data
         interval.pages_scanned += 1
+        try:
+            self._scan_candidate(vm, candidate, frame, interval)
+        except WalkFailure as failure:
+            # The hardware backend exhausted its retries on this
+            # candidate; skip it for the pass (it will be revisited).
+            interval.walk_failures += 1
+            if failure.poison:
+                # Uncorrectable ECC on the candidate's own lines: never
+                # merge this page again (page-offline semantics).
+                mapping.mergeable = False
+                interval.candidates_poisoned += 1
+
+    def _scan_candidate(self, vm, candidate, frame, interval):
+        hyp = self.hypervisor
         ckey = (candidate.vm_id, candidate.gpn)
 
         # --- Line 7: search the stable tree.

@@ -234,7 +234,7 @@ class ServerSystem:
     """One full-machine experiment (Section 5.3 configurations)."""
 
     def __init__(self, app, mode="baseline", machine=None, scale=None,
-                 seed=2017):
+                 seed=2017, fault_plan=None, resilience=None):
         if mode not in MODES:
             raise ValueError(f"mode must be one of {MODES}, got {mode!r}")
         self.app = app
@@ -242,6 +242,16 @@ class ServerSystem:
         self.machine = machine or MachineConfig()
         self.scale = scale or SimulationScale()
         self.freq = self.machine.processor.frequency_hz
+        # Optional chaos: a FaultPlan arms the PageForge home controller
+        # and engine with a FaultInjector, and a DegradationGovernor
+        # decides per wake whether the merge interval runs on the
+        # hardware or falls back to software KSM.  The other modes are
+        # unaffected (software KSM does not read through the faulty
+        # controller — that immunity is what the fallback buys).
+        self.fault_plan = fault_plan
+        self.resilience = resilience
+        self.fault_injector = None
+        self.pf_governor = None
 
         # RNG streams: content and load are mode-independent so all three
         # configurations see identical workloads.
@@ -340,14 +350,30 @@ class ServerSystem:
                 cost_sink=self._cost_sink,
             )
         elif self.mode == "pageforge":
+            home = self.controllers[
+                self.machine.pageforge.home_memory_controller
+            ]
+            if self.fault_plan is not None:
+                # Faults only matter if the SECDED decode actually runs.
+                home.verify_ecc = True
             self.pf_driver = PageForgeMergeDriver(
                 self.hypervisor,
-                self.controllers[self.machine.pageforge.home_memory_controller],
+                home,
                 bus=self.bus,
                 ksm_config=self.machine.ksm,
                 pf_config=self.machine.pageforge,
                 line_sampling=8,
+                resilience=self.resilience,
             )
+            if self.fault_plan is not None:
+                from repro.faults import DegradationGovernor, FaultInjector
+
+                self.fault_injector = FaultInjector(self.fault_plan).attach(
+                    controller=home, engine=self.pf_driver.engine
+                )
+                self.pf_governor = DegradationGovernor(
+                    self.pf_driver.strategy.resilience
+                )
 
     def _calibrate(self):
         """Fix the per-query L3-access count from the app's nominal mix.
@@ -565,10 +591,29 @@ class ServerSystem:
         now = self.events.now
         self._mem_now = max(self._mem_now, now)
         self.churner.tick()
+        sleep_s = self.machine.ksm.sleep_millisecs / 1000.0
+        if self.pf_governor is not None:
+            self.pf_driver.set_backend(self.pf_governor.plan_interval())
+        if self.pf_driver.backend == "software":
+            # Degraded interval: same daemon, software primitives.  The
+            # engine is idle, so the work occupies a core like ksmd does.
+            interval = self.pf_driver.scan_pages(
+                self.machine.ksm.pages_to_scan, now=now
+            )
+            self.pf_governor.observe(*self.pf_driver.fault_observations())
+            cpu_cycles = self._degraded_chunk_cycles(interval, now)
+            core_id = self.scheduler.next_core()
+            self._enqueue(core_id, ("os", cpu_cycles))
+            self.events.schedule_in(
+                cpu_cycles / self.freq + sleep_s, self._pf_wake
+            )
+            return
         refills_before = self.pf_driver.strategy.table_refills
         self.pf_driver.scan_pages(
             self.machine.ksm.pages_to_scan, now=now
         )
+        if self.pf_governor is not None:
+            self.pf_governor.observe(*self.pf_driver.fault_observations())
         hw_cycles = self.pf_driver.drain_engine_cycles()
         refills = self.pf_driver.strategy.table_refills - refills_before
         hw_s = hw_cycles / self.freq
@@ -581,8 +626,39 @@ class ServerSystem:
         )
         core_id = self.scheduler.next_core()
         self._enqueue(core_id, ("os", os_cycles))
-        sleep_s = self.machine.ksm.sleep_millisecs / 1000.0
         self.events.schedule_in(hw_s + sleep_s, self._pf_wake)
+
+    def _degraded_chunk_cycles(self, interval, now):
+        """CPU cycles of one software-fallback interval.
+
+        Mirrors ``_run_ksm_chunk``'s cost formula, with memory stalls
+        estimated in bulk (miss fraction floored at full-scale, as the
+        cache-model sink does) instead of measured — the fallback daemon
+        has no cache sink wired.
+        """
+        compare_cpu = (
+            interval.bytes_compared * 2 + interval.merge_verify_bytes * 2
+        ) / 6.0
+        hash_cpu = float(interval.checksum_bytes) * 3.0
+        other_cpu = interval.pages_scanned * 20_000.0 + 2000.0
+        lines = (
+            2 * interval.bytes_compared + interval.checksum_bytes
+        ) // 64
+        miss_cost = (
+            self.scale.core_memory_overhead_cycles
+            + self.scale.dram_latency_cycles
+        )
+        stalls = lines * self.scale.scan_miss_floor * miss_cost
+        dram_bytes = int(lines * 64 * self.scale.scan_miss_floor)
+        if dram_bytes:
+            self.dram.stats.bytes_by_source["ksm"] += dram_bytes
+            self.dram.bandwidth.record(self._mem_now, dram_bytes, "ksm")
+        self.add_pollution(lines * 64, now)
+        self.ksm_timing.compare_cycles += compare_cpu
+        self.ksm_timing.hash_cycles += hash_cpu
+        self.ksm_timing.other_cycles += other_cpu + stalls
+        self.ksm_timing.intervals += 1
+        return int(compare_cpu + hash_cpu + other_cpu + stalls)
 
     # Run ----------------------------------------------------------------------------------
 

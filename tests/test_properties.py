@@ -16,7 +16,14 @@ from repro.common.rng import DeterministicRNG
 from repro.common.units import PAGE_BYTES
 from repro.core import ecc_hash_key
 from repro.core.driver import PageForgeMergeDriver
-from repro.ecc.hamming import encode_page, encode_words
+from repro.ecc.hamming import (
+    CODEWORD_BITS,
+    DecodeStatus,
+    decode_word,
+    encode_page,
+    encode_words,
+    inject_error,
+)
 from repro.ksm import KSMDaemon
 from repro.ksm.compare import compare_pages
 from repro.mem import MemoryController, PhysicalMemory
@@ -189,6 +196,57 @@ class TestKeyDeterminism:
         after = encode_words(page.view(np.uint64))
         diffs = np.nonzero(before != after)[0]
         assert diffs.tolist() == [word_index]
+
+
+class TestSECDEDRoundTrip:
+    """The fault model's foundation: SECDED over random 64 B lines."""
+
+    @staticmethod
+    def _codeword(seed, word_index):
+        line = DeterministicRNG(seed, "secded-line").bytes_array(64)
+        word = int(line.view(np.uint64)[word_index])
+        check = int(encode_words(np.array([word], dtype=np.uint64))[0])
+        return word, check
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1),
+           st.integers(min_value=0, max_value=7))
+    @settings(max_examples=30, deadline=None)
+    def test_clean_codeword_decodes_ok(self, seed, word_index):
+        word, check = self._codeword(seed, word_index)
+        outcome = decode_word(word, check)
+        assert outcome.status is DecodeStatus.OK
+        assert outcome.word == word
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1),
+           st.integers(min_value=0, max_value=7),
+           st.integers(min_value=0, max_value=CODEWORD_BITS - 1))
+    @settings(max_examples=80, deadline=None)
+    def test_any_single_bit_flip_is_corrected(self, seed, word_index, bit):
+        """Every one of the 72 codeword bits, data or check, corrects."""
+        word, check = self._codeword(seed, word_index)
+        bad_word, bad_check = inject_error(word, check, bit)
+        outcome = decode_word(bad_word, bad_check)
+        assert outcome.status in (
+            DecodeStatus.CORRECTED, DecodeStatus.PARITY_BIT_ERROR
+        )
+        assert outcome.word == word  # original data recovered
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1),
+           st.integers(min_value=0, max_value=7),
+           st.integers(min_value=0, max_value=CODEWORD_BITS - 1),
+           st.integers(min_value=1, max_value=CODEWORD_BITS - 1))
+    @settings(max_examples=80, deadline=None)
+    def test_any_double_bit_flip_is_detected_never_miscorrected(
+            self, seed, word_index, bit, offset):
+        """Two distinct flipped bits are always flagged uncorrectable —
+        the decoder must never hand back a silently 'corrected' wrong
+        word (that would defeat the driver's poisoning path)."""
+        word, check = self._codeword(seed, word_index)
+        other = (bit + offset) % CODEWORD_BITS
+        bad_word, bad_check = inject_error(word, check, bit)
+        bad_word, bad_check = inject_error(bad_word, bad_check, other)
+        outcome = decode_word(bad_word, bad_check)
+        assert outcome.status is DecodeStatus.UNCORRECTABLE
 
 
 class TestFailureInjection:

@@ -89,6 +89,62 @@ class TestDestroyVM:
         hypervisor.verify_consistency()
 
 
+class TestDestroyDuringPageForgeMerge:
+    def test_refcounts_recover_after_mid_stream_teardown(
+            self, hypervisor, rng):
+        """Tear a VM down while the PageForge driver's tree still points
+        into it: the next scan prunes the stale nodes, refcounts land on
+        the surviving sharers, and merging continues."""
+        from repro.core.driver import PageForgeMergeDriver
+        from repro.mem import MemoryController
+
+        vms = populate(hypervisor, rng, n_vms=3)
+        driver = PageForgeMergeDriver(
+            hypervisor,
+            MemoryController(0, hypervisor.memory, verify_ecc=False),
+            ksm_config=KSMConfig(pages_to_scan=500),
+        )
+        driver.run_to_steady_state(max_passes=4)
+        shared_ppn = vms[1].translate(0)
+        assert hypervisor.memory.frame(shared_ppn).refcount == 3
+        hypervisor.destroy_vm(vms[0])
+        assert hypervisor.memory.frame(shared_ppn).refcount == 2
+        # Resume scanning against the now-stale tree state.
+        driver.scan_pages(hypervisor.guest_pages() * 3)
+        assert vms[1].translate(0) == shared_ppn
+        assert hypervisor.memory.frame(shared_ppn).refcount == 2
+        hypervisor.verify_consistency()
+
+    def test_replacement_vm_remerges_after_churn(self, hypervisor, rng):
+        """Destroy-and-replace under the hardware driver: the footprint
+        returns to steady state, like the software-KSM consolidation."""
+        from repro.core.driver import PageForgeMergeDriver
+        from repro.mem import MemoryController
+
+        vms = populate(hypervisor, rng, n_vms=3)
+        driver = PageForgeMergeDriver(
+            hypervisor,
+            MemoryController(0, hypervisor.memory, verify_ecc=False),
+            ksm_config=KSMConfig(pages_to_scan=500),
+        )
+        steady = driver.run_to_steady_state(max_passes=4)
+        hypervisor.destroy_vm(vms[2])
+        replacement = hypervisor.create_vm("fresh")
+        for gpn in range(2):
+            hypervisor.populate_page(
+                replacement, gpn, hypervisor.guest_read(vms[0], gpn).copy(),
+                mergeable=True,
+            )
+        for gpn in range(2, 4):
+            hypervisor.populate_page(
+                replacement, gpn, rng.bytes_array(PAGE_BYTES),
+                mergeable=True,
+            )
+        driver.run_to_steady_state(max_passes=4)
+        assert hypervisor.footprint_pages() == steady
+        hypervisor.verify_consistency()
+
+
 class TestUnmerge:
     def test_unmerge_gives_private_copy(self, hypervisor, rng):
         vms = populate(hypervisor, rng, n_vms=2)
