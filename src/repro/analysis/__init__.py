@@ -6,8 +6,11 @@ benchmark or example.
 """
 
 from repro.analysis.report import (
+    format_differential,
     format_fault_campaign,
     format_fig7_memory_savings,
+    format_golden_drift,
+    format_invariant_audit,
     format_fig8_hash_keys,
     format_fig9_mean_latency,
     format_fig10_tail_latency,
@@ -19,7 +22,10 @@ from repro.analysis.report import (
 )
 
 __all__ = [
+    "format_differential",
     "format_fault_campaign",
+    "format_golden_drift",
+    "format_invariant_audit",
     "format_fig10_tail_latency",
     "format_fig11_bandwidth",
     "format_fig7_memory_savings",

@@ -314,3 +314,57 @@ def format_table5_pageforge(results, power_model):
             f"{report.power_w:>7.2f} W"
         )
     return "\n".join(lines)
+
+
+def format_differential(results):
+    """Merge-equivalence verdicts: backends vs the full-compare oracle.
+
+    ``results`` is a list of :class:`~repro.verify.DifferentialResult`
+    (one per seeded workload).
+    """
+    lines = [
+        "Differential merge-equivalence: backends vs full-compare oracle",
+        _rule(),
+    ]
+    for r in results:
+        verdict = "OK" if r.ok else "DIVERGED"
+        lines.append(
+            f"{r.app_name} seed={r.seed} "
+            f"({r.pages_per_vm} pages x {r.n_vms} VMs): "
+            f"{r.oracle_pairs} duplicate pairs in "
+            f"{r.oracle_classes} content classes -> {verdict}"
+        )
+        for backend in sorted(r.reports):
+            lines.append(f"  {r.reports[backend].summary()}")
+        for divergence in r.divergences():
+            lines.append(f"  !! {divergence.describe()}")
+    lines.append(_rule())
+    n_ok = sum(1 for r in results if r.ok)
+    lines.append(f"{n_ok}/{len(results)} workloads equivalent")
+    return "\n".join(lines)
+
+
+def format_invariant_audit(auditor):
+    """Check/violation accounting of one InvariantAuditor run."""
+    lines = [auditor.summary(), _rule()]
+    for kind in sorted(auditor.checks):
+        lines.append(f"  {kind:<28s} {auditor.checks[kind]:>8d} checks")
+    for violation in auditor.violations:
+        lines.append(f"  !! {violation}")
+    return "\n".join(lines)
+
+
+def format_golden_drift(drifts, regen_command=None):
+    """Golden-figure comparison outcome (empty drift list = pass)."""
+    if not drifts:
+        return "golden figures: all metrics within tolerance"
+    lines = [f"golden figures: {len(drifts)} metric(s) drifted", _rule()]
+    for drift in drifts:
+        lines.append(f"  {drift.describe()}")
+    if regen_command:
+        lines.append(_rule())
+        lines.append(
+            "If the change is intentional, regenerate the goldens with:"
+        )
+        lines.append(f"  {regen_command}")
+    return "\n".join(lines)

@@ -7,6 +7,8 @@ Commands map one-to-one onto the paper's experiments:
 * ``latency``   — Figures 9/10/11 + Tables 4/5 for chosen apps;
 * ``faults``    — seeded chaos campaigns (fault injection + degradation);
 * ``demo``      — the 30-second quickstart merge demo;
+* ``verify``    — correctness gate (golden figures, differential
+  oracle, runtime invariant audit);
 * ``config``    — print Table 2 (the architecture in force).
 
 Every command accepts ``--csv PATH`` / ``--json PATH`` to export rows.
@@ -138,6 +140,77 @@ def cmd_config(_args):
     return 0
 
 
+def cmd_verify(args):
+    """Correctness gate: goldens, differential oracle, invariant audit.
+
+    Exits nonzero on any golden drift beyond tolerance, any false merge
+    against the full-compare oracle, or any invariant violation.
+    """
+    from repro.analysis import (
+        format_differential,
+        format_golden_drift,
+        format_invariant_audit,
+    )
+    from repro.verify import (
+        REGEN_COMMAND,
+        InvariantAuditor,
+        canonical_json,
+        compare_fingerprints,
+        compute_fingerprints,
+        load_goldens,
+        run_differential_suite,
+        write_goldens,
+    )
+
+    failed = False
+
+    if args.differential:
+        seeds = tuple(range(args.seed, args.seed + args.runs))
+        results = run_differential_suite(app=args.app, seeds=seeds)
+        print(format_differential(results))
+        failed |= not all(r.ok for r in results)
+
+    if args.invariants:
+        from repro.common.config import TAILBENCH_APPS
+        from repro.sim.system import MODES, ServerSystem, SimulationScale
+
+        scale = SimulationScale(
+            pages_per_vm=100, n_vms=2, duration_s=0.08, warmup_s=0.08
+        )
+        for mode in MODES:
+            auditor = InvariantAuditor(strict=False)
+            system = ServerSystem(
+                TAILBENCH_APPS[args.app], mode=mode, scale=scale,
+                seed=args.seed, auditor=auditor,
+            )
+            system.run()
+            print(f"[{mode}] " + format_invariant_audit(auditor))
+            failed |= not auditor.clean
+
+    if args.goldens_check or args.regen:
+        fingerprints = compute_fingerprints()
+        if args.regen:
+            path = write_goldens(fingerprints, args.goldens)
+            print(f"regenerated {path} ({len(fingerprints)} metrics)")
+        else:
+            try:
+                golden = load_goldens(args.goldens)
+            except FileNotFoundError:
+                print(f"no golden file at {args.goldens}; create it with:")
+                print(f"  {REGEN_COMMAND}")
+                return 1
+            drifts = compare_fingerprints(golden, fingerprints)
+            print(format_golden_drift(drifts, regen_command=REGEN_COMMAND))
+            failed |= bool(drifts)
+            if args.json:
+                from pathlib import Path
+
+                Path(args.json).write_text(canonical_json(fingerprints))
+                print(f"wrote {args.json}")
+
+    return 1 if failed else 0
+
+
 def build_parser():
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -183,6 +256,29 @@ def build_parser():
     p.add_argument("--vms", type=int, default=2)
     p.add_argument("--seed", type=int, default=7)
     p.set_defaults(func=cmd_demo)
+
+    p = sub.add_parser(
+        "verify",
+        help="correctness gate: goldens, differential oracle, invariants",
+    )
+    p.add_argument("--goldens", default="tests/goldens/figures.json",
+                   help="golden fingerprint file to check or regenerate")
+    p.add_argument("--regen", action="store_true",
+                   help="regenerate the golden file instead of checking")
+    p.add_argument("--no-goldens", dest="goldens_check",
+                   action="store_false",
+                   help="skip the golden-figure check")
+    p.add_argument("--differential", action="store_true",
+                   help="also run the differential oracle harness")
+    p.add_argument("--invariants", action="store_true",
+                   help="also run audited ServerSystem runs (all modes)")
+    p.add_argument("--app", default="moses", choices=list(TAILBENCH_APPS))
+    p.add_argument("--seed", type=int, default=0,
+                   help="first seed for differential/invariant runs")
+    p.add_argument("--runs", type=int, default=5,
+                   help="number of differential seeds")
+    p.add_argument("--json", help="write computed fingerprints to a file")
+    p.set_defaults(func=cmd_verify)
 
     p = sub.add_parser("config", help="print Table 2 configuration")
     p.set_defaults(func=cmd_config)

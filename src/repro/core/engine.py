@@ -82,6 +82,10 @@ class PageForgeEngine:
         # Scan-Table SRAM; the walk guards below turn the damage into a
         # typed ScanTableCorruption instead of a hang.
         self.walk_fault_hook = None
+        # Optional verification hook (repro.verify.invariants): called
+        # as hook(self.table) after every completed process_table, once
+        # the Scanned bit is set and the table is stable.
+        self.audit_hook = None
         # line_sampling > 1 switches the comparator to a faster model:
         # the comparison outcome is computed exactly, but only every Nth
         # line takes the fully timed fetch path (the rest are accounted
@@ -290,6 +294,8 @@ class PageForgeEngine:
         self.stats.tables_processed += 1
         self.stats.total_cycles += cycles
         self.stats.table_cycles.append(cycles)
+        if self.audit_hook is not None:
+            self.audit_hook(self.table)
         self.controller.expire_pending(
             time_seconds + cycles / frequency
         )

@@ -139,6 +139,10 @@ class KSMDaemon:
         self._pass_index = 0
         self.total_merges = 0
         self._pass_merges_at_start = 0
+        # Optional verification hook (repro.verify.invariants): called
+        # as hook(self) after every scan interval, when tree and frame
+        # state is quiescent and safe to traverse.
+        self.audit_hook = None
 
     # Node construction -----------------------------------------------------------
 
@@ -246,6 +250,8 @@ class KSMDaemon:
                 self._end_pass()
                 interval.passes_completed += 1
         self.stats.accumulate(interval)
+        if self.audit_hook is not None:
+            self.audit_hook(self)
         return interval
 
     def _process_candidate(self, candidate, interval):

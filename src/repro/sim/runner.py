@@ -5,6 +5,7 @@
 * ``run_latency_experiment`` — Figures 9/10/11 + Table 4 (timed system).
 """
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
@@ -214,7 +215,12 @@ def run_hash_key_study(app, pages_per_vm=600, n_vms=4, n_passes=6,
                 frame = hypervisor.memory.frame(mapping.ppn)
                 jh = page_checksum(frame.data)
                 ek = ecc_hash_key(frame.data, line_offsets=ecc_offsets)
-                digest = hash(frame.data.tobytes())
+                # Ground-truth change detector.  Must be process-stable:
+                # builtin hash() on bytes is salted by PYTHONHASHSEED
+                # and would make the Fig. 8 numbers drift across runs.
+                digest = hashlib.blake2b(
+                    frame.data.tobytes(), digest_size=8
+                ).digest()
                 if key in prev_jhash:
                     result.comparisons += 1
                     changed = prev_content[key] != digest

@@ -234,7 +234,8 @@ class ServerSystem:
     """One full-machine experiment (Section 5.3 configurations)."""
 
     def __init__(self, app, mode="baseline", machine=None, scale=None,
-                 seed=2017, fault_plan=None, resilience=None):
+                 seed=2017, fault_plan=None, resilience=None,
+                 auditor=None):
         if mode not in MODES:
             raise ValueError(f"mode must be one of {MODES}, got {mode!r}")
         self.app = app
@@ -267,6 +268,11 @@ class ServerSystem:
         self._build_images()
         self._build_load()
         self._build_merging()
+        # Optional runtime verification: an InvariantAuditor re-checks
+        # merge/CoW/tree/Scan-Table invariants as the system runs.
+        self.auditor = auditor
+        if auditor is not None:
+            auditor.attach_system(self)
         self._calibrate()
 
     # Construction ----------------------------------------------------------------

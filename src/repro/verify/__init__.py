@@ -1,0 +1,63 @@
+"""Verification subsystem: oracles, runtime auditing, golden regression.
+
+Three independent safety nets over the merging stack:
+
+* :mod:`repro.verify.oracle` / :mod:`repro.verify.differential` — a
+  naive full-compare reference oracle and a differential harness that
+  grades KSM-jhash and PageForge-ECC merge sets against it;
+* :mod:`repro.verify.invariants` — a runtime auditor that re-checks
+  merge/CoW/frame/tree/Scan-Table invariants on every event;
+* :mod:`repro.verify.goldens` — canonical fingerprints of the paper
+  figures with per-metric drift tolerances.
+"""
+
+from repro.verify.differential import (
+    DifferentialResult,
+    run_differential,
+    run_differential_suite,
+)
+from repro.verify.goldens import (
+    DEFAULT_GOLDENS_PATH,
+    GOLDEN_SEED,
+    REGEN_COMMAND,
+    Drift,
+    canonical_json,
+    compare_fingerprints,
+    compute_fingerprints,
+    load_goldens,
+    write_goldens,
+)
+from repro.verify.invariants import InvariantAuditor, InvariantViolation
+from repro.verify.oracle import (
+    MergeDivergence,
+    MergeEquivalenceReport,
+    OraclePartition,
+    PageRef,
+    achieved_merge_sets,
+    compare_to_oracle,
+    reference_partition,
+)
+
+__all__ = [
+    "DEFAULT_GOLDENS_PATH",
+    "DifferentialResult",
+    "Drift",
+    "GOLDEN_SEED",
+    "InvariantAuditor",
+    "InvariantViolation",
+    "MergeDivergence",
+    "MergeEquivalenceReport",
+    "OraclePartition",
+    "PageRef",
+    "REGEN_COMMAND",
+    "achieved_merge_sets",
+    "canonical_json",
+    "compare_fingerprints",
+    "compare_to_oracle",
+    "compute_fingerprints",
+    "load_goldens",
+    "reference_partition",
+    "run_differential",
+    "run_differential_suite",
+    "write_goldens",
+]

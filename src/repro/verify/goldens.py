@@ -1,0 +1,215 @@
+"""Golden-figure regression: canonical fingerprints of the paper figures.
+
+A *fingerprint* is a flat ``{metric_key: {"value", "tol", "kind"}}`` map
+distilled from the Fig 7–11 / Table 4–5 experiment outputs at a fixed
+reduced scale (:data:`GOLDEN_SEED`, scales below).  Every experiment in
+this repository is deterministic given its seed, so fingerprints are
+byte-identical across runs of the same code; a diff against the
+checked-in golden file (``tests/goldens/figures.json``) therefore means
+the *code* changed behaviour.
+
+Comparison is per metric with a declared tolerance:
+
+* ``exact`` — integers and structural counts; any change is drift;
+* ``rel``  — floating metrics; relative drift beyond ``tol`` fails;
+* ``abs``  — metrics that legitimately sit near zero (shares, rates);
+  absolute drift beyond ``tol`` fails.
+
+Intentional behaviour changes are blessed by regenerating:
+
+    PYTHONPATH=src python -m repro verify --regen
+"""
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.sim.runner import (
+    run_hash_key_study,
+    run_latency_experiment,
+    run_memory_savings,
+)
+from repro.sim.system import SimulationScale
+
+#: Seed for every golden run (the paper's publication year, as elsewhere).
+GOLDEN_SEED = 2017
+
+#: Apps fingerprinted for the functional figures (two give cross-app
+#: coverage without inflating regeneration time).
+GOLDEN_SAVINGS_APPS = ("moses", "silo")
+#: App fingerprinted through the full timed system (the slow part).
+GOLDEN_LATENCY_APP = "moses"
+
+#: Reduced-scale knobs chosen so a full regeneration stays under ~30 s.
+GOLDEN_SAVINGS_KW = dict(pages_per_vm=200, n_vms=4, seed=GOLDEN_SEED)
+GOLDEN_HASHKEY_KW = dict(pages_per_vm=150, n_vms=3, n_passes=4,
+                         seed=GOLDEN_SEED)
+GOLDEN_LATENCY_SCALE = SimulationScale(
+    pages_per_vm=120, n_vms=3, duration_s=0.15, warmup_s=0.12,
+)
+
+#: Printed whenever drift is detected.
+REGEN_COMMAND = "PYTHONPATH=src python -m repro verify --regen"
+
+#: Default location of the checked-in golden file.
+DEFAULT_GOLDENS_PATH = Path("tests/goldens/figures.json")
+
+_ROUND_DIGITS = 10
+
+
+def _metric(value, tol=0.0, kind="exact"):
+    if isinstance(value, float):
+        value = round(value, _ROUND_DIGITS)
+    return {"value": value, "tol": tol, "kind": kind}
+
+
+def compute_fingerprints():
+    """Run every golden-scale experiment and distill the fingerprints.
+
+    Deterministic: same code + same seed -> byte-identical output.
+    """
+    fp = {}
+
+    # Figure 7: steady-state memory savings, both engines.
+    for app in GOLDEN_SAVINGS_APPS:
+        for engine in ("ksm", "pageforge"):
+            r = run_memory_savings(app, engine=engine, **GOLDEN_SAVINGS_KW)
+            base = f"fig7/{app}/{engine}"
+            fp[f"{base}/pages_before"] = _metric(r.pages_before)
+            fp[f"{base}/pages_after"] = _metric(r.pages_after, tol=0.02,
+                                                kind="rel")
+            fp[f"{base}/savings_frac"] = _metric(r.savings_frac, tol=0.02,
+                                                 kind="abs")
+            fp[f"{base}/merges"] = _metric(r.merges, tol=0.05, kind="rel")
+
+    # Figure 8: hash-key stability outcomes, jhash vs ECC.
+    for app in GOLDEN_SAVINGS_APPS:
+        r = run_hash_key_study(app, **GOLDEN_HASHKEY_KW)
+        base = f"fig8/{app}"
+        fp[f"{base}/comparisons"] = _metric(r.comparisons)
+        fp[f"{base}/jhash_match_frac"] = _metric(r.jhash_match_frac,
+                                                 tol=0.02, kind="abs")
+        fp[f"{base}/ecc_match_frac"] = _metric(r.ecc_match_frac,
+                                               tol=0.02, kind="abs")
+        fp[f"{base}/extra_ecc_false_positive_frac"] = _metric(
+            r.extra_ecc_false_positive_frac, tol=0.02, kind="abs"
+        )
+
+    # Figures 9/10/11 + Tables 4/5: one timed run, all three modes.
+    result = run_latency_experiment(
+        GOLDEN_LATENCY_APP, scale=GOLDEN_LATENCY_SCALE, seed=GOLDEN_SEED
+    )
+    app = GOLDEN_LATENCY_APP
+    for mode in ("ksm", "pageforge"):
+        fp[f"fig9/{app}/{mode}/normalized_mean"] = _metric(
+            result.normalized_mean(mode), tol=0.05, kind="rel"
+        )
+        fp[f"fig10/{app}/{mode}/normalized_p95"] = _metric(
+            result.normalized_p95(mode), tol=0.05, kind="rel"
+        )
+    for mode, s in sorted(result.summaries.items()):
+        base = f"fig11/{app}/{mode}"
+        fp[f"{base}/bandwidth_peak_gbps"] = _metric(
+            s.bandwidth_peak_gbps, tol=0.05, kind="rel"
+        )
+        fp[f"{base}/queries"] = _metric(s.queries, tol=0.02, kind="rel")
+    ksm = result.summaries["ksm"]
+    pf = result.summaries["pageforge"]
+    fp[f"table4/{app}/ksm_compare_share"] = _metric(
+        ksm.ksm_compare_share, tol=0.05, kind="abs"
+    )
+    fp[f"table4/{app}/ksm_hash_share"] = _metric(
+        ksm.ksm_hash_share, tol=0.05, kind="abs"
+    )
+    fp[f"table4/{app}/kernel_share_avg"] = _metric(
+        ksm.kernel_share_avg, tol=0.05, kind="abs"
+    )
+    fp[f"table4/{app}/l3_miss_rate"] = _metric(
+        ksm.l3_miss_rate, tol=0.05, kind="abs"
+    )
+    fp[f"table5/{app}/pf_mean_table_cycles"] = _metric(
+        pf.pf_mean_table_cycles, tol=0.10, kind="rel"
+    )
+    fp[f"table5/{app}/pf_std_table_cycles"] = _metric(
+        pf.pf_std_table_cycles, tol=0.15, kind="rel"
+    )
+    fp[f"table5/{app}/footprint_pages"] = _metric(
+        pf.footprint_pages, tol=0.02, kind="rel"
+    )
+
+    # Table 5 static design characteristics (no simulation involved).
+    from repro.core.power import PageForgePowerModel
+
+    power = PageForgePowerModel()
+    fp["table5/area_mm2"] = _metric(power.total_area_mm2(), tol=1e-6,
+                                    kind="rel")
+    fp["table5/power_w"] = _metric(power.total_power_w(), tol=1e-6,
+                                   kind="rel")
+    return fp
+
+
+def canonical_json(fingerprints):
+    """Byte-stable serialisation: sorted keys, fixed float rounding."""
+    return json.dumps(fingerprints, sort_keys=True, indent=2) + "\n"
+
+
+def write_goldens(fingerprints, path=DEFAULT_GOLDENS_PATH):
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(canonical_json(fingerprints))
+    return path
+
+
+def load_goldens(path=DEFAULT_GOLDENS_PATH):
+    return json.loads(Path(path).read_text())
+
+
+@dataclass
+class Drift:
+    """One metric outside its golden tolerance (or missing entirely)."""
+
+    key: str
+    kind: str  # "exact" | "rel" | "abs" | "missing" | "extra"
+    expected: object = None
+    actual: object = None
+    tol: float = 0.0
+
+    def describe(self):
+        if self.kind in ("missing", "extra"):
+            return f"{self.key}: {self.kind} metric"
+        return (
+            f"{self.key}: {self.actual} vs golden {self.expected} "
+            f"({self.kind} tol {self.tol})"
+        )
+
+
+def _within(kind, expected, actual, tol):
+    if kind == "exact":
+        return expected == actual
+    if kind == "rel":
+        if expected == 0:
+            return abs(actual) <= tol
+        return abs(actual - expected) <= tol * abs(expected)
+    if kind == "abs":
+        return abs(actual - expected) <= tol
+    raise ValueError(f"unknown tolerance kind: {kind!r}")
+
+
+def compare_fingerprints(golden, actual):
+    """Per-metric drift list (empty = pass)."""
+    drifts = []
+    for key in sorted(golden):
+        if key not in actual:
+            drifts.append(Drift(key=key, kind="missing"))
+            continue
+        g = golden[key]
+        a = actual[key]
+        if not _within(g["kind"], g["value"], a["value"], g["tol"]):
+            drifts.append(Drift(
+                key=key, kind=g["kind"], expected=g["value"],
+                actual=a["value"], tol=g["tol"],
+            ))
+    for key in sorted(actual):
+        if key not in golden:
+            drifts.append(Drift(key=key, kind="extra"))
+    return drifts

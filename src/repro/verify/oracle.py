@@ -1,0 +1,252 @@
+"""The full-compare reference oracle for merge decisions.
+
+The oracle answers one question with no hashing, no trees, and no
+sampling: *which guest pages of a frozen memory image hold identical
+bytes?*  It partitions every mergeable guest page into content-equality
+classes by naive pairwise ``memcmp`` against one representative per
+class — worst case O(n²) page comparisons, which is exactly why it is
+trustworthy: every decision is a byte-for-byte comparison.
+
+``compare_to_oracle`` then grades a merging backend's *achieved* merge
+set (pages sharing a physical frame) against that partition:
+
+* a **false merge** is two pages sharing a frame whose frozen contents
+  differ — the failure class PageForge's lockstep-verify design argues
+  is impossible, and the one a differential harness must flag loudly
+  (merging destroys the evidence, so the diff comes from the frozen
+  reference image);
+* a **missed merge** (false negative) is a content-equal pair left on
+  separate frames — allowed (hash conservatism, pass scheduling), but
+  counted and bounded.
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.ksm.compare import compare_pages
+
+
+@dataclass(frozen=True)
+class PageRef:
+    """One guest page: (vm_id, gpn)."""
+
+    vm_id: int
+    gpn: int
+
+
+@dataclass
+class OraclePartition:
+    """Content-equality classes over a frozen memory image."""
+
+    classes: List[List[PageRef]]
+    comparisons: int
+    bytes_compared: int
+
+    def class_index(self) -> Dict[PageRef, int]:
+        """Map every page to its class id."""
+        index = {}
+        for i, members in enumerate(self.classes):
+            for ref in members:
+                index[ref] = i
+        return index
+
+    @property
+    def n_pages(self):
+        return sum(len(c) for c in self.classes)
+
+    @property
+    def duplicate_pairs(self):
+        """Content-equal page pairs the image contains (sum of C(k,2))."""
+        return sum(len(c) * (len(c) - 1) // 2 for c in self.classes)
+
+    @property
+    def distinct_contents(self):
+        return len(self.classes)
+
+
+def _considered_pages(hypervisor, mergeable_only=True):
+    """The (ref, frame) list a merging backend is allowed to touch."""
+    pages = []
+    for vm_id in sorted(hypervisor.vms):
+        vm = hypervisor.vms[vm_id]
+        for mapping in vm.mappings():
+            if mergeable_only and not mapping.mergeable:
+                continue
+            frame = hypervisor.memory.frame(mapping.ppn)
+            pages.append((PageRef(vm_id, mapping.gpn), frame))
+    return pages
+
+
+def reference_partition(hypervisor, mergeable_only=True):
+    """Partition mergeable guest pages into byte-equality classes.
+
+    Naive full-compare dedup: each page is compared against one
+    representative frame per existing class until it matches or starts a
+    class of its own.  No hashing is involved, so the result cannot
+    inherit a hash function's blind spots.
+    """
+    classes = []
+    representatives = []  # parallel list of frames
+    comparisons = 0
+    bytes_compared = 0
+    for ref, frame in _considered_pages(hypervisor, mergeable_only):
+        placed = False
+        for i, rep in enumerate(representatives):
+            if rep.ppn == frame.ppn:  # already-shared frame: trivially equal
+                classes[i].append(ref)
+                placed = True
+                break
+            sign, cost = compare_pages(frame.data, rep.data)
+            comparisons += 1
+            bytes_compared += cost
+            if sign == 0:
+                classes[i].append(ref)
+                placed = True
+                break
+        if not placed:
+            classes.append([ref])
+            representatives.append(frame)
+    return OraclePartition(
+        classes=classes, comparisons=comparisons,
+        bytes_compared=bytes_compared,
+    )
+
+
+def achieved_merge_sets(hypervisor, mergeable_only=True):
+    """The backend's merge decisions: pages grouped by physical frame."""
+    by_frame = {}
+    for ref, frame in _considered_pages(hypervisor, mergeable_only):
+        by_frame.setdefault(frame.ppn, []).append(ref)
+    return by_frame
+
+
+@dataclass
+class MergeDivergence:
+    """One divergent page pair, with its frozen-image content diff."""
+
+    kind: str  # "false-merge" | "missed-merge"
+    ref_a: PageRef
+    ref_b: PageRef
+    first_diff_offset: Optional[int] = None  # None: contents identical
+    byte_a: Optional[int] = None
+    byte_b: Optional[int] = None
+
+    def describe(self):
+        pair = (
+            f"VM{self.ref_a.vm_id}:{self.ref_a.gpn} vs "
+            f"VM{self.ref_b.vm_id}:{self.ref_b.gpn}"
+        )
+        if self.first_diff_offset is None:
+            return f"{self.kind}: {pair} (contents identical)"
+        return (
+            f"{self.kind}: {pair} first diff at byte {self.first_diff_offset}"
+            f" ({self.byte_a:#04x} != {self.byte_b:#04x})"
+        )
+
+
+def _content_diff(frozen_hypervisor, ref_a, ref_b):
+    """(offset, byte_a, byte_b) of the first difference in the frozen
+    image, or (None, None, None) if the pages are identical there."""
+    hyp = frozen_hypervisor
+    frame_a = hyp.memory.frame(hyp.vms[ref_a.vm_id].mapping(ref_a.gpn).ppn)
+    frame_b = hyp.memory.frame(hyp.vms[ref_b.vm_id].mapping(ref_b.gpn).ppn)
+    sign, cost = compare_pages(frame_a.data, frame_b.data)
+    if sign == 0:
+        return None, None, None
+    offset = cost - 1  # compare_pages touches bytes up to the first diff
+    return offset, int(frame_a.data[offset]), int(frame_b.data[offset])
+
+
+@dataclass
+class MergeEquivalenceReport:
+    """How one backend's merge set relates to the oracle partition."""
+
+    backend: str
+    oracle_classes: int
+    oracle_pairs: int
+    merged_pairs: int
+    missed_pairs: int
+    false_merges: List[MergeDivergence] = field(default_factory=list)
+    missed_samples: List[MergeDivergence] = field(default_factory=list)
+
+    @property
+    def false_negative_rate(self):
+        """Missed content-equal pairs / all content-equal pairs."""
+        if self.oracle_pairs == 0:
+            return 0.0
+        return self.missed_pairs / self.oracle_pairs
+
+    @property
+    def zero_false_merges(self):
+        return not self.false_merges
+
+    def summary(self):
+        return (
+            f"{self.backend}: {self.merged_pairs}/{self.oracle_pairs} "
+            f"duplicate pairs merged, {len(self.false_merges)} false "
+            f"merges, FN rate {self.false_negative_rate:.2%}"
+        )
+
+
+def compare_to_oracle(hypervisor, oracle, frozen_hypervisor=None,
+                      backend="backend", mergeable_only=True,
+                      max_samples=8) -> MergeEquivalenceReport:
+    """Grade ``hypervisor``'s merge state against an oracle partition.
+
+    ``frozen_hypervisor`` is an identically-built, never-merged image
+    used to reconstruct content diffs for false merges (the merge itself
+    leaves both pages on one frame, destroying the original bytes).  It
+    defaults to ``hypervisor`` — fine for missed-merge diffs, which are
+    still on separate frames.
+    """
+    frozen = frozen_hypervisor or hypervisor
+    class_of = oracle.class_index()
+    by_frame = achieved_merge_sets(hypervisor, mergeable_only)
+
+    false_merges = []
+    for ppn in sorted(by_frame):
+        sharers = by_frame[ppn]
+        if len(sharers) < 2:
+            continue
+        anchor = sharers[0]
+        for other in sharers[1:]:
+            if class_of.get(other) != class_of.get(anchor):
+                offset, byte_a, byte_b = _content_diff(frozen, anchor, other)
+                false_merges.append(MergeDivergence(
+                    kind="false-merge", ref_a=anchor, ref_b=other,
+                    first_diff_offset=offset, byte_a=byte_a, byte_b=byte_b,
+                ))
+
+    # Missed pairs: within each oracle class, pages split across frames.
+    frame_of = {}
+    for ppn, sharers in by_frame.items():
+        for ref in sharers:
+            frame_of[ref] = ppn
+    merged_pairs = 0
+    missed_pairs = 0
+    missed_samples = []
+    for members in oracle.classes:
+        present = [ref for ref in members if ref in frame_of]
+        groups = {}
+        for ref in present:
+            groups.setdefault(frame_of[ref], []).append(ref)
+        n = len(present)
+        same_frame = sum(len(g) * (len(g) - 1) // 2 for g in groups.values())
+        merged_pairs += same_frame
+        class_missed = n * (n - 1) // 2 - same_frame
+        missed_pairs += class_missed
+        if class_missed and len(missed_samples) < max_samples:
+            reps = [g[0] for g in groups.values()]
+            missed_samples.append(MergeDivergence(
+                kind="missed-merge", ref_a=reps[0], ref_b=reps[1],
+            ))
+
+    return MergeEquivalenceReport(
+        backend=backend,
+        oracle_classes=oracle.distinct_contents,
+        oracle_pairs=oracle.duplicate_pairs,
+        merged_pairs=merged_pairs,
+        missed_pairs=missed_pairs,
+        false_merges=false_merges,
+        missed_samples=missed_samples,
+    )

@@ -1,0 +1,149 @@
+"""Golden-figure regression tests.
+
+The slow test regenerates every golden-scale experiment and compares
+against the checked-in fingerprints — the actual drift gate.  The fast
+tests pin the comparison machinery itself: canonical serialisation,
+tolerance kinds, perturbation detection, and the CLI exit code.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+import repro.verify as verify_pkg
+from repro.cli import main as cli_main
+from repro.verify.goldens import (
+    DEFAULT_GOLDENS_PATH,
+    canonical_json,
+    compare_fingerprints,
+    load_goldens,
+    write_goldens,
+)
+
+GOLDENS = Path(__file__).parent / "goldens" / "figures.json"
+
+
+def _sample_fingerprints():
+    return {
+        "fig/x/count": {"value": 100, "tol": 0.0, "kind": "exact"},
+        "fig/x/rate": {"value": 0.25, "tol": 0.02, "kind": "abs"},
+        "fig/x/cycles": {"value": 8000.0, "tol": 0.05, "kind": "rel"},
+    }
+
+
+class TestComparisonMachinery:
+    def test_canonical_json_is_sorted_and_stable(self):
+        fp = _sample_fingerprints()
+        text = canonical_json(fp)
+        assert text == canonical_json(dict(reversed(list(fp.items()))))
+        assert text.endswith("\n")
+        assert json.loads(text) == fp
+
+    def test_identical_fingerprints_have_no_drift(self):
+        fp = _sample_fingerprints()
+        assert compare_fingerprints(fp, fp) == []
+
+    def test_within_tolerance_passes(self):
+        golden = _sample_fingerprints()
+        actual = json.loads(json.dumps(golden))
+        actual["fig/x/rate"]["value"] = 0.26      # abs drift 0.01 < 0.02
+        actual["fig/x/cycles"]["value"] = 8300.0  # rel drift 3.75% < 5%
+        assert compare_fingerprints(golden, actual) == []
+
+    def test_perturbation_beyond_tolerance_detected(self):
+        golden = _sample_fingerprints()
+        actual = json.loads(json.dumps(golden))
+        actual["fig/x/count"]["value"] = 101       # exact: any change
+        actual["fig/x/rate"]["value"] = 0.30       # abs drift 0.05 > 0.02
+        actual["fig/x/cycles"]["value"] = 9000.0   # rel drift 12.5% > 5%
+        drifts = compare_fingerprints(golden, actual)
+        assert sorted(d.key for d in drifts) == [
+            "fig/x/count", "fig/x/cycles", "fig/x/rate"
+        ]
+        for drift in drifts:
+            assert "vs golden" in drift.describe()
+
+    def test_missing_and_extra_metrics_are_drift(self):
+        golden = _sample_fingerprints()
+        actual = json.loads(json.dumps(golden))
+        del actual["fig/x/rate"]
+        actual["fig/y/new"] = {"value": 1, "tol": 0.0, "kind": "exact"}
+        kinds = {d.key: d.kind for d in compare_fingerprints(golden, actual)}
+        assert kinds == {"fig/x/rate": "missing", "fig/y/new": "extra"}
+
+    def test_write_and_load_round_trip(self, tmp_path):
+        fp = _sample_fingerprints()
+        path = write_goldens(fp, tmp_path / "sub" / "goldens.json")
+        assert load_goldens(path) == fp
+
+
+class TestCheckedInGoldens:
+    def test_golden_file_exists_and_is_canonical(self):
+        assert GOLDENS.exists(), (
+            "tests/goldens/figures.json missing; create it with "
+            "PYTHONPATH=src python -m repro verify --regen"
+        )
+        golden = load_goldens(GOLDENS)
+        assert GOLDENS.read_text() == canonical_json(golden)
+        assert len(golden) > 30
+        for key, metric in golden.items():
+            assert set(metric) == {"value", "tol", "kind"}, key
+            assert metric["kind"] in ("exact", "rel", "abs"), key
+
+    @pytest.mark.slow
+    def test_regenerated_fingerprints_match_goldens(self):
+        """The drift gate: recomputing every golden-scale experiment
+        must land inside the checked-in per-metric tolerances."""
+        from repro.verify.goldens import compute_fingerprints
+
+        golden = load_goldens(GOLDENS)
+        actual = compute_fingerprints()
+        drifts = compare_fingerprints(golden, actual)
+        assert drifts == [], "\n".join(d.describe() for d in drifts)
+
+
+class TestVerifyCLI:
+    def _fake_fingerprints(self, monkeypatch, fingerprints):
+        monkeypatch.setattr(
+            verify_pkg, "compute_fingerprints", lambda: fingerprints
+        )
+
+    def test_exit_zero_when_within_tolerance(self, tmp_path, monkeypatch):
+        fp = _sample_fingerprints()
+        path = write_goldens(fp, tmp_path / "goldens.json")
+        self._fake_fingerprints(monkeypatch, fp)
+        assert cli_main(["verify", "--goldens", str(path)]) == 0
+
+    def test_exit_nonzero_on_perturbation(self, tmp_path, monkeypatch,
+                                          capsys):
+        """Acceptance criterion: ``repro verify`` exits nonzero when a
+        metric is perturbed beyond tolerance, and prints the
+        regeneration command."""
+        golden = _sample_fingerprints()
+        path = write_goldens(golden, tmp_path / "goldens.json")
+        perturbed = json.loads(json.dumps(golden))
+        perturbed["fig/x/cycles"]["value"] *= 1.5
+        self._fake_fingerprints(monkeypatch, perturbed)
+        assert cli_main(["verify", "--goldens", str(path)]) == 1
+        out = capsys.readouterr().out
+        assert "fig/x/cycles" in out
+        assert "repro verify --regen" in out
+
+    def test_exit_nonzero_when_goldens_missing(self, tmp_path,
+                                               monkeypatch):
+        self._fake_fingerprints(monkeypatch, _sample_fingerprints())
+        missing = tmp_path / "nope.json"
+        assert cli_main(["verify", "--goldens", str(missing)]) == 1
+
+    def test_regen_writes_canonical_file(self, tmp_path, monkeypatch):
+        fp = _sample_fingerprints()
+        self._fake_fingerprints(monkeypatch, fp)
+        path = tmp_path / "goldens.json"
+        assert cli_main(
+            ["verify", "--regen", "--goldens", str(path)]
+        ) == 0
+        assert load_goldens(path) == fp
+
+    def test_default_goldens_path_matches_checked_in_location(self):
+        assert Path("tests/goldens/figures.json") == DEFAULT_GOLDENS_PATH

@@ -1,0 +1,122 @@
+"""Hypothesis property tests for ``common/bitops`` and ``common/units``.
+
+Both modules sit under every layer (the ECC codec, hash keys, and the
+timing model) but were only exercised indirectly before; these pin down
+their algebraic properties directly.
+"""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common import bitops
+from repro.common.bitops import bit_count, extract_bits, parity, set_bit
+
+# Imported under a non-collectable name: pytest would otherwise treat
+# ``test_bit`` itself as a test function.
+check_bit = bitops.test_bit
+from repro.common.units import (
+    CACHE_LINE_BYTES,
+    GIB,
+    LINES_PER_PAGE,
+    PAGE_BYTES,
+    bytes_to_gib,
+    cycles_to_seconds,
+    gbps,
+    seconds_to_cycles,
+)
+
+nonneg = st.integers(min_value=0, max_value=(1 << 72) - 1)
+bit_index = st.integers(min_value=0, max_value=71)
+
+
+class TestBitops:
+    @given(nonneg)
+    def test_bit_count_matches_int_bit_count(self, value):
+        assert bit_count(value) == value.bit_count()
+
+    @given(nonneg, nonneg)
+    def test_bit_count_additive_over_disjoint_masks(self, a, b):
+        assert bit_count((a << 72) | b) == bit_count(a) + bit_count(b)
+
+    def test_bit_count_rejects_negative(self):
+        with pytest.raises(ValueError):
+            bit_count(-1)
+
+    @given(nonneg)
+    def test_parity_is_bit_count_mod_2(self, value):
+        assert parity(value) == bit_count(value) % 2
+
+    @given(nonneg, nonneg)
+    def test_parity_xor_homomorphism(self, a, b):
+        assert parity(a ^ b) == parity(a) ^ parity(b)
+
+    @given(nonneg, bit_index, st.integers(min_value=0, max_value=1))
+    def test_set_bit_then_test_bit(self, value, index, bit):
+        assert check_bit(set_bit(value, index, bit), index) == bool(bit)
+
+    @given(nonneg, bit_index, st.integers(min_value=0, max_value=1))
+    def test_set_bit_idempotent(self, value, index, bit):
+        once = set_bit(value, index, bit)
+        assert set_bit(once, index, bit) == once
+
+    @given(nonneg, bit_index, bit_index,
+           st.integers(min_value=0, max_value=1))
+    def test_set_bit_leaves_other_bits(self, value, index, other, bit):
+        if index == other:
+            return
+        assert check_bit(set_bit(value, index, bit), other) == \
+            check_bit(value, other)
+
+    @given(nonneg, st.integers(min_value=0, max_value=80),
+           st.integers(min_value=0, max_value=80))
+    def test_extract_bits_matches_shift_mask(self, value, offset, width):
+        expected = (value >> offset) & ((1 << width) - 1)
+        assert extract_bits(value, offset, width) == expected
+
+    @given(nonneg)
+    def test_extract_reassembles_value(self, value):
+        lo = extract_bits(value, 0, 36)
+        hi = extract_bits(value, 36, 36)
+        assert (hi << 36) | lo == value
+
+    def test_extract_bits_rejects_negative_shape(self):
+        with pytest.raises(ValueError):
+            extract_bits(5, -1, 3)
+        with pytest.raises(ValueError):
+            extract_bits(5, 3, -1)
+
+
+class TestUnits:
+    def test_architectural_constants(self):
+        assert PAGE_BYTES == 4096
+        assert CACHE_LINE_BYTES == 64
+        assert LINES_PER_PAGE * CACHE_LINE_BYTES == PAGE_BYTES
+
+    @given(st.integers(min_value=0, max_value=10**12),
+           st.sampled_from([1e9, 2e9, 3.6e9]))
+    def test_cycles_seconds_round_trip(self, cycles, freq):
+        assert seconds_to_cycles(cycles_to_seconds(cycles, freq),
+                                 freq) == cycles
+
+    @given(st.floats(min_value=0.0, max_value=10.0,
+                     allow_nan=False, allow_infinity=False),
+           st.sampled_from([1e9, 2e9]))
+    def test_seconds_to_cycles_monotone(self, seconds, freq):
+        assert seconds_to_cycles(seconds, freq) <= \
+            seconds_to_cycles(seconds + 1.0, freq)
+
+    @given(st.integers(min_value=0, max_value=1 << 50))
+    def test_bytes_to_gib_round_trip(self, n_bytes):
+        assert bytes_to_gib(n_bytes) * GIB == pytest.approx(n_bytes)
+
+    @given(st.integers(min_value=0, max_value=1 << 40),
+           st.floats(min_value=1e-6, max_value=1e3,
+                     allow_nan=False, allow_infinity=False))
+    def test_gbps_scales_linearly_in_bytes(self, n_bytes, seconds):
+        assert gbps(2 * n_bytes, seconds) == \
+            pytest.approx(2 * gbps(n_bytes, seconds))
+
+    @given(st.integers(min_value=0, max_value=1 << 40))
+    def test_gbps_zero_interval_is_zero(self, n_bytes):
+        assert gbps(n_bytes, 0.0) == 0.0
+        assert gbps(n_bytes, -1.0) == 0.0

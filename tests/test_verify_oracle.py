@@ -1,0 +1,152 @@
+"""Tests for the full-compare oracle and the differential harness."""
+
+import numpy as np
+import pytest
+
+from repro.common.rng import DeterministicRNG
+from repro.common.units import PAGE_BYTES
+from repro.mem import PhysicalMemory
+from repro.verify.differential import run_differential, run_differential_suite
+from repro.verify.oracle import (
+    PageRef,
+    achieved_merge_sets,
+    compare_to_oracle,
+    reference_partition,
+)
+from repro.virt import Hypervisor
+
+
+def _fresh(seed=99):
+    rng = DeterministicRNG(seed, "oracle-tests")
+    hyp = Hypervisor(physical_memory=PhysicalMemory(32 << 20))
+    return hyp, rng
+
+
+class TestReferencePartition:
+    def test_partitions_by_content(self, two_vm_setup):
+        hypervisor, _vms = two_vm_setup
+        partition = reference_partition(hypervisor)
+        # Shared page x2 -> one class of 2; zero page x2 -> one class
+        # of 2; two unique pages -> two singleton classes.
+        assert partition.n_pages == 6
+        sizes = sorted(len(c) for c in partition.classes)
+        assert sizes == [1, 1, 2, 2]
+        assert partition.duplicate_pairs == 2
+        assert partition.distinct_contents == 4
+
+    def test_class_index_covers_every_page(self, two_vm_setup):
+        hypervisor, _vms = two_vm_setup
+        partition = reference_partition(hypervisor)
+        index = partition.class_index()
+        assert len(index) == partition.n_pages
+        for i, members in enumerate(partition.classes):
+            for ref in members:
+                assert index[ref] == i
+
+    def test_mergeable_only_excludes_private_pages(self):
+        hyp, rng = _fresh()
+        vm = hyp.create_vm("vm")
+        data = rng.bytes_array(PAGE_BYTES)
+        hyp.populate_page(vm, 0, data, mergeable=True)
+        hyp.populate_page(vm, 1, data, mergeable=False)
+        assert reference_partition(hyp).n_pages == 1
+        assert reference_partition(
+            hyp, mergeable_only=False
+        ).duplicate_pairs == 1
+
+    def test_comparison_and_byte_costs_counted(self, two_vm_setup):
+        hypervisor, _vms = two_vm_setup
+        partition = reference_partition(hypervisor)
+        assert partition.comparisons > 0
+        assert partition.bytes_compared >= partition.comparisons
+
+
+class TestCompareToOracle:
+    def test_correct_merge_state_is_clean(self, two_vm_setup):
+        hypervisor, vms = two_vm_setup
+        oracle = reference_partition(hypervisor)
+        hypervisor.merge_pages(vms[0], 0, vms[1], 0)
+        report = compare_to_oracle(hypervisor, oracle, backend="manual")
+        assert report.zero_false_merges
+        assert report.merged_pairs == 1
+        # The zero-page pair was left unmerged -> one missed pair.
+        assert report.missed_pairs == 1
+        assert report.false_negative_rate == pytest.approx(0.5)
+
+    def test_false_merge_detected_with_content_diff(self):
+        """A wrong merge (different contents forced onto one frame) is
+        flagged, and the diff is reconstructed from the frozen image."""
+        frozen, _ = _fresh(7)
+        live, _ = _fresh(7)  # identical build
+        for hyp in (frozen, live):
+            rng = DeterministicRNG(7, "pair")
+            vm_a = hyp.create_vm("a")
+            vm_b = hyp.create_vm("b")
+            page_a = rng.derive("a").bytes_array(PAGE_BYTES)
+            page_b = rng.derive("b").bytes_array(PAGE_BYTES)
+            hyp.populate_page(vm_a, 0, page_a, mergeable=True)
+            hyp.populate_page(vm_b, 0, page_b, mergeable=True)
+        oracle = reference_partition(frozen)
+        assert oracle.distinct_contents == 2
+
+        vms = list(live.vms.values())
+        live.merge_pages(vms[0], 0, vms[1], 0, verify=False)  # the bug
+        report = compare_to_oracle(
+            live, oracle, frozen_hypervisor=frozen, backend="buggy"
+        )
+        assert not report.zero_false_merges
+        assert len(report.false_merges) == 1
+        divergence = report.false_merges[0]
+        assert divergence.kind == "false-merge"
+        assert divergence.first_diff_offset is not None
+        assert divergence.byte_a != divergence.byte_b
+        assert "first diff at byte" in divergence.describe()
+
+    def test_achieved_merge_sets_group_by_frame(self, two_vm_setup):
+        hypervisor, vms = two_vm_setup
+        hypervisor.merge_pages(vms[0], 0, vms[1], 0)
+        by_frame = achieved_merge_sets(hypervisor)
+        shared_ppn = vms[0].mapping(0).ppn
+        assert sorted(
+            (r.vm_id, r.gpn) for r in by_frame[shared_ppn]
+        ) == [(0, 0), (1, 0)]
+
+
+class TestDifferentialHarness:
+    def test_single_seed_equivalence(self):
+        result = run_differential(
+            app="moses", seed=0, pages_per_vm=60, n_vms=2
+        )
+        assert result.ok
+        assert set(result.reports) == {"ksm", "pageforge"}
+        for report in result.reports.values():
+            assert report.zero_false_merges
+
+    def test_acceptance_five_seeded_workloads(self):
+        """Acceptance criterion: >=5 seeded workloads, PageForge merge
+        set equivalent to the full-compare oracle — zero false merges
+        and FN rate within tolerance of the jhash baseline."""
+        results = run_differential_suite(
+            app="moses", seeds=(0, 1, 2, 3, 4),
+            pages_per_vm=100, n_vms=3,
+        )
+        assert len(results) == 5
+        for result in results:
+            assert result.ok, [
+                d.describe() for d in result.divergences()
+            ]
+            pf = result.reports["pageforge"]
+            ksm = result.reports["ksm"]
+            assert pf.zero_false_merges and ksm.zero_false_merges
+            assert pf.false_negative_rate <= \
+                ksm.false_negative_rate + result.fn_tolerance
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            run_differential(app="moses", seed=0, pages_per_vm=20,
+                             n_vms=2, backends=("xen",))
+
+
+def test_page_ref_is_hashable_and_ordered_data():
+    assert PageRef(1, 2) == PageRef(1, 2)
+    assert len({PageRef(1, 2), PageRef(1, 2), PageRef(1, 3)}) == 2
