@@ -49,10 +49,26 @@ def sweep():
     ]
 
 
+def _echo_provenance(benchmark, results):
+    """Per-campaign seed + config echo into the benchmark record and the
+    printed output, so every reported row names the run that made it."""
+    rows = [
+        {"app": r.app_name, "mode": r.mode, "seed": r.seed,
+         "plan": r.plan, "config": r.config}
+        for r in results
+    ]
+    benchmark.extra_info["campaigns"] = rows
+    for row in rows:
+        plan = {k: v for k, v in row["plan"].items() if v}
+        print(f"  [{row['app']}/{row['mode']} seed={row['seed']} "
+              f"config={row['config']} plan={plan}]")
+
+
 def test_fault_campaign_summary(benchmark, suite):
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)
     print()
     print(format_fault_campaign(suite))
+    _echo_provenance(benchmark, suite.values())
 
 
 def test_no_content_corruption_at_any_rate(benchmark, suite, sweep):
@@ -73,6 +89,7 @@ def test_no_content_corruption_at_any_rate(benchmark, suite, sweep):
         print(f"{rate:>8.0e} {r.savings_frac:>8.2%} {r.batch_retries:>8d} "
               f"{r.candidates_poisoned:>9d} "
               f"{r.intervals_degraded:>4d}/{r.intervals_run:<4d}")
+    _echo_provenance(benchmark, sweep)
 
 
 def test_degraded_savings_within_10pct_of_ksm(benchmark, suite, sweep):

@@ -1,9 +1,16 @@
-"""Result exporters: CSV and JSON for downstream analysis/plotting."""
+"""Result exporters: CSV and JSON for downstream analysis/plotting.
+
+All file writes go through :mod:`repro.common.io`'s atomic publish, so a
+crash mid-export can never leave a torn result file for a plotting
+script (or the golden-figure checker) to trip over.
+"""
 
 import csv
 import io
 import json
 from dataclasses import asdict, is_dataclass
+
+from repro.common.io import atomic_write_text
 
 
 def _plain(value):
@@ -103,6 +110,10 @@ def faults_to_rows(results):
                 if k not in ("lines_inspected", "walk_steps_inspected")
             ),
             "fingerprint": r.fingerprint,
+            # Full provenance: the plan and campaign scale that produced
+            # this row, so any exported row can be replayed exactly.
+            "plan_json": json.dumps(_plain(r.plan), sort_keys=True),
+            "config_json": json.dumps(_plain(r.config), sort_keys=True),
         })
     return rows
 
@@ -118,8 +129,7 @@ def rows_to_csv(rows, path=None):
     writer.writerows(rows)
     text = buffer.getvalue()
     if path is not None:
-        with open(path, "w", newline="") as handle:
-            handle.write(text)
+        atomic_write_text(path, text)
     return text
 
 
@@ -127,6 +137,5 @@ def rows_to_json(rows, path=None, indent=2):
     """Serialise rows (or any dataclass tree) to JSON."""
     text = json.dumps(_plain(rows), indent=indent)
     if path is not None:
-        with open(path, "w") as handle:
-            handle.write(text)
+        atomic_write_text(path, text)
     return text

@@ -64,9 +64,18 @@ def cmd_savings(args):
     results = []
     for app in args.apps:
         for engine in ("ksm", "pageforge"):
+            checkpoint_dir = None
+            if args.checkpoint_dir:
+                from pathlib import Path
+
+                checkpoint_dir = (
+                    Path(args.checkpoint_dir) / f"{app}-{engine}"
+                )
             result = run_memory_savings(
                 app, pages_per_vm=args.pages_per_vm, n_vms=args.vms,
                 engine=engine, seed=args.seed,
+                checkpoint_every=args.checkpoint_every,
+                checkpoint_dir=checkpoint_dir, resume=args.resume,
             )
             results.append(result)
     pageforge = [r for r in results if r.engine == "pageforge"]
@@ -102,7 +111,10 @@ def cmd_latency(args):
     for app in args.apps:
         print(f"running {app} ...", file=sys.stderr)
         results.append(
-            run_latency_experiment(app, scale=scale, seed=args.seed)
+            run_latency_experiment(
+                app, scale=scale, seed=args.seed,
+                checkpoint_dir=args.checkpoint_dir, resume=args.resume,
+            )
         )
     print(format_fig9_mean_latency(results))
     print()
@@ -126,6 +138,50 @@ def cmd_faults(args):
     print(format_fault_campaign(results))
     _export(faults_to_rows(results), args)
     return 0 if all(r.clean for r in results.values()) else 1
+
+
+def cmd_supervise(args):
+    """Crash-safe supervised run: checkpoints, journal, watchdog, resume.
+
+    ``--worker`` is the internal child-process entry the supervisor
+    spawns; everything else is the parent-side campaign driver.
+    """
+    from repro.faults import FaultPlan
+    from repro.recovery import RunSpec, Supervisor
+    from repro.recovery.supervisor import run_worker
+
+    if args.worker:
+        return run_worker(args.workdir, args.attempt)
+
+    spec = None
+    if not args.resume:
+        plan = FaultPlan.uniform(args.rate, seed=args.seed, churn=True)
+        import dataclasses
+
+        plan = dataclasses.replace(
+            plan,
+            process_crash_prob=args.crash_prob,
+            crash_after_ops=args.crash_after_ops,
+        )
+        spec = RunSpec(
+            app=args.app, mode=args.mode, seed=args.seed,
+            pages_per_vm=args.pages_per_vm, n_vms=args.vms,
+            intervals=args.intervals,
+            checkpoint_every=args.checkpoint_every, plan=plan,
+        )
+    supervisor = Supervisor(
+        args.workdir, spec=spec, max_attempts=args.max_attempts,
+        stall_timeout=args.stall_timeout,
+    )
+    outcome = supervisor.run(check_equivalence=args.check_equivalence)
+    print(outcome.to_json())
+    if not outcome.completed:
+        return 1
+    validation = outcome.result["validation"]
+    clean = validation["auditor_clean"] and validation["zero_false_merges"]
+    if outcome.equivalence is not None:
+        clean &= outcome.equivalence["equivalent"]
+    return 0 if clean else 1
 
 
 def cmd_demo(args):
@@ -222,6 +278,12 @@ def build_parser():
     _add_export_args(p)
     p.add_argument("--pages-per-vm", type=int, default=600)
     p.add_argument("--vms", type=int, default=10)
+    p.add_argument("--checkpoint-dir",
+                   help="directory for crash-safe run checkpoints")
+    p.add_argument("--checkpoint-every", type=int, default=10,
+                   help="scan ticks between checkpoints")
+    p.add_argument("--resume", action="store_true",
+                   help="continue from the newest valid checkpoint")
     p.set_defaults(func=cmd_savings)
 
     p = sub.add_parser("hashkeys", help="Figure 8: hash-key outcomes")
@@ -238,6 +300,10 @@ def build_parser():
     p.add_argument("--vms", type=int, default=10)
     p.add_argument("--duration", type=float, default=0.6)
     p.add_argument("--warmup", type=float, default=0.8)
+    p.add_argument("--checkpoint-dir",
+                   help="directory for per-mode summary checkpoints")
+    p.add_argument("--resume", action="store_true",
+                   help="skip (app, mode) runs already summarised")
     p.set_defaults(func=cmd_latency)
 
     p = sub.add_parser("faults",
@@ -251,6 +317,42 @@ def build_parser():
     p.add_argument("--quick", action="store_true",
                    help="small fleet for CI smoke runs")
     p.set_defaults(func=cmd_faults)
+
+    p = sub.add_parser(
+        "supervise",
+        help="crash-safe supervised run with checkpoint/journal recovery",
+    )
+    p.add_argument("--workdir", required=True,
+                   help="run directory (spec, checkpoints, journal)")
+    p.add_argument("--resume", action="store_true",
+                   help="continue an existing workdir instead of starting "
+                        "a fresh spec")
+    p.add_argument("--app", default="moses", choices=list(TAILBENCH_APPS))
+    p.add_argument("--mode", default="pageforge",
+                   choices=["ksm", "pageforge"])
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--pages-per-vm", type=int, default=60)
+    p.add_argument("--vms", type=int, default=3)
+    p.add_argument("--intervals", type=int, default=8)
+    p.add_argument("--checkpoint-every", type=int, default=2)
+    p.add_argument("--rate", type=float, default=0.0,
+                   help="per-line fault rate for the uniform plan")
+    p.add_argument("--crash-prob", type=float, default=0.0,
+                   help="per-interval probability of injected process "
+                        "death")
+    p.add_argument("--crash-after-ops", type=int, default=0,
+                   help="die once the N-th journaled merge op lands "
+                        "(0 = off)")
+    p.add_argument("--max-attempts", type=int, default=5)
+    p.add_argument("--stall-timeout", type=float, default=30.0,
+                   help="seconds without a heartbeat before SIGKILL")
+    p.add_argument("--check-equivalence", action="store_true",
+                   help="replay uninterrupted and compare fingerprints")
+    p.add_argument("--worker", action="store_true",
+                   help=argparse.SUPPRESS)
+    p.add_argument("--attempt", type=int, default=0,
+                   help=argparse.SUPPRESS)
+    p.set_defaults(func=cmd_supervise)
 
     p = sub.add_parser("demo", help="30-second merge demo")
     p.add_argument("--vms", type=int, default=2)

@@ -1,0 +1,60 @@
+"""Crash-safe filesystem primitives shared by exporters and recovery.
+
+Every durable artifact this repository produces (checkpoints, golden
+files, result CSV/JSON) is written with the classic atomic-publish
+discipline: write the full contents to a temporary file in the *same*
+directory, flush and ``fsync`` it, then ``os.replace`` it over the
+destination.  A reader therefore either sees the old file or the new
+one — never a torn half-write — even if the process is SIGKILLed at any
+instruction boundary.
+"""
+
+import os
+import tempfile
+from pathlib import Path
+
+
+def fsync_directory(path):
+    """Flush directory metadata so a rename survives power loss.
+
+    Best-effort: some platforms/filesystems refuse ``open()`` on a
+    directory; the rename itself is still atomic there.
+    """
+    try:
+        fd = os.open(str(path), os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_write_bytes(path, payload):
+    """Atomically publish ``payload`` at ``path`` (tmp + fsync + rename)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(
+        prefix=path.name + ".", suffix=".tmp", dir=str(path.parent)
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(payload)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, str(path))
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    fsync_directory(path.parent)
+    return path
+
+
+def atomic_write_text(path, text, encoding="utf-8"):
+    """Atomically publish ``text`` at ``path``."""
+    return atomic_write_bytes(path, text.encode(encoding))

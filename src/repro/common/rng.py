@@ -36,6 +36,21 @@ class DeterministicRNG:
         """A new independent RNG whose stream is keyed by ``name``."""
         return DeterministicRNG(self.seed, f"{self.name}/{name}")
 
+    # Checkpointing -------------------------------------------------------------
+
+    def get_state(self):
+        """The underlying PCG64 state as a JSON-serialisable dict.
+
+        Capturing and later restoring the state resumes the stream at
+        the exact draw where it was captured — the property the recovery
+        subsystem's crash-equivalence guarantee rests on.
+        """
+        return self._gen.bit_generator.state
+
+    def set_state(self, state):
+        """Restore a state captured by :meth:`get_state`."""
+        self._gen.bit_generator.state = state
+
     # Convenience pass-throughs -------------------------------------------------
 
     def integers(self, low, high=None, size=None):

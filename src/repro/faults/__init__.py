@@ -15,7 +15,11 @@ from repro.faults.campaign import (
     run_fault_suite,
 )
 from repro.faults.governor import DegradationGovernor
-from repro.faults.injector import FaultInjectionStats, FaultInjector
+from repro.faults.injector import (
+    FaultInjectionStats,
+    FaultInjector,
+    ProcessCrash,
+)
 from repro.faults.plan import FaultPlan
 
 __all__ = [
@@ -24,6 +28,7 @@ __all__ = [
     "FaultInjectionStats",
     "FaultInjector",
     "FaultPlan",
+    "ProcessCrash",
     "run_fault_campaign",
     "run_fault_suite",
 ]

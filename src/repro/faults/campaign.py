@@ -60,6 +60,10 @@ class CampaignResult:
     final_backend: str = ""
     intervals_degraded: int = 0
     fingerprint: str = ""
+    # Provenance echo: the exact plan and campaign scale that produced
+    # this result, so exported rows are replayable without the caller.
+    plan: Dict = field(default_factory=dict)
+    config: Dict = field(default_factory=dict)
 
     @property
     def savings_frac(self):
@@ -183,10 +187,20 @@ def run_fault_campaign(app="moses", mode="pageforge", plan=None, seed=0,
     finally:
         injector.detach()
 
+    from dataclasses import asdict as _asdict
+
     result = CampaignResult(
         app_name=app.name,
         mode=mode,
         seed=seed,
+        plan=_asdict(plan),
+        config={
+            "pages_per_vm": pages_per_vm,
+            "n_vms": n_vms,
+            "intervals": intervals,
+            "pages_per_interval": ksm_config.pages_to_scan,
+            "use_governor": use_governor,
+        },
         intervals_run=intervals,
         guest_pages=hypervisor.guest_pages(),
         footprint_pages=hypervisor.footprint_pages(),

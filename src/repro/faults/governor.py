@@ -79,6 +79,10 @@ class DegradationGovernor:
         return self.backend
 
     def _switch(self, backend):
+        if backend == self.backend:
+            # Idempotent: switching to the current backend is a no-op,
+            # not a duplicate transition in the history.
+            return
         self.backend = backend
         self._healthy_probes = 0
         self.transitions.append((self._interval_index, backend))

@@ -30,6 +30,15 @@ from repro.mem.controller import RequestDropped
 _WORDS_PER_LINE = 8
 
 
+class ProcessCrash(RuntimeError):
+    """The injected fault is the death of the whole process.
+
+    The recovery subsystem realises it: a supervised worker turns it
+    into a hard exit; in-process harnesses catch it, drop the journal's
+    unflushed tail and resume from the latest checkpoint.
+    """
+
+
 @dataclass
 class FaultInjectionStats:
     """What the injector actually did (ground truth for the analysis)."""
@@ -44,6 +53,7 @@ class FaultInjectionStats:
     table_corruptions: int = 0
     vms_destroyed: int = 0
     pages_unmerged: int = 0
+    process_crashes: int = 0
 
     def snapshot(self):
         return {f.name: getattr(self, f.name) for f in fields(self)}
@@ -59,6 +69,7 @@ class FaultInjector:
         self._line_rng = root.derive("line")
         self._walk_rng = root.derive("walk")
         self._vm_rng = root.derive("vm")
+        self._crash_rng = None
         self._controller = None
         self._engine = None
 
@@ -170,6 +181,32 @@ class FaultInjector:
             garbage = 1_000 + int(self._walk_rng.integers(0, 1_000))
             entry.less = garbage
             entry.more = garbage
+
+    # Process death (driven per-interval by the recoverable runner) -----------------
+
+    def set_crash_attempt(self, attempt):
+        """Key the crash stream by restart attempt.
+
+        Unlike every other stream, the crash stream must NOT be restored
+        from a checkpoint: a resumed run replaying the exact pre-crash
+        draws would crash at the same point forever.  Deriving by attempt
+        keeps the schedule deterministic per (seed, attempt) while letting
+        each restart roll fresh dice.
+        """
+        self._crash_rng = DeterministicRNG(
+            self.plan.seed, f"faults/crash/{int(attempt)}"
+        )
+        return self
+
+    def maybe_crash(self):
+        """With ``process_crash_prob``, decide this interval is the
+        process's last.  Returns True when the caller should die."""
+        if self.plan.process_crash_prob <= 0.0 or self._crash_rng is None:
+            return False
+        if float(self._crash_rng.random()) >= self.plan.process_crash_prob:
+            return False
+        self.stats.process_crashes += 1
+        return True
 
     # VM lifecycle churn (driven per-interval by the campaign) ----------------------
 

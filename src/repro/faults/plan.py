@@ -25,6 +25,12 @@ Fault classes, mapped to the hardware they model:
                        racing the engine's stale Scan-Table/tree state.
 ``unmerge_churn_prob`` madvise(UNMERGEABLE) churn: merged pages are
                        forcibly un-shared and retired from merging.
+``process_crash_prob`` The host process dies (SIGKILL / power loss)
+                       at a merge-interval boundary; recovery must
+                       resume from checkpoint + journal.
+``crash_after_ops``    Deterministic kill switch: die once the N-th
+                       journaled merge op lands (0 = disabled).  Only
+                       armed on the first attempt, so restarts survive.
 =====================  ========================================================
 """
 
@@ -50,13 +56,21 @@ class FaultPlan:
     vm_destroy_prob: float = 0.0
     unmerge_churn_prob: float = 0.0
     unmerge_pages_per_event: int = 4
+    # Whole-process death, realised by the recovery subsystem.
+    process_crash_prob: float = 0.0
+    crash_after_ops: int = 0
 
     def __post_init__(self):
         total = self.line_fault_rate
         if not 0.0 <= total < 1.0:
             raise ValueError(f"per-line fault rates sum to {total}")
+        if self.crash_after_ops < 0:
+            raise ValueError(
+                f"crash_after_ops must be >= 0: {self.crash_after_ops}"
+            )
         for name in (
-            "table_corruption_rate", "vm_destroy_prob", "unmerge_churn_prob"
+            "table_corruption_rate", "vm_destroy_prob",
+            "unmerge_churn_prob", "process_crash_prob",
         ):
             value = getattr(self, name)
             if not 0.0 <= value <= 1.0:

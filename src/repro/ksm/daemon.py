@@ -330,7 +330,10 @@ class KSMDaemon:
             self.stable_tree.remove(stable_node)
             interval.stale_nodes_pruned += 1
             return
-        winner_vm_id, winner_gpn = next(iter(sharers))
+        # min(), not next(iter()): set iteration order depends on the
+        # set's insertion history, which a checkpoint restore cannot
+        # reproduce — the canonical winner keeps resumed runs bit-exact.
+        winner_vm_id, winner_gpn = min(sharers)
         winner_vm = hyp.vms[winner_vm_id]
         candidate_ppn = vm.mapping(candidate.gpn).ppn
         try:

@@ -1,0 +1,45 @@
+"""Crash-safe checkpointing, merge-op journaling, supervised recovery.
+
+``serialize``  — full bit-exact state capture/restore for every mutable
+                 component (memory, hypervisor, trees, engine, RNGs);
+``snapshot``   — versioned, checksummed, atomically-published checkpoint
+                 files (:class:`CheckpointStore`);
+``journal``    — the fsync-batched write-ahead merge journal with torn-
+                 tail recovery and lockstep divergence detection;
+``runner``     — :class:`RecoverableRun`, the checkpointable merge loop
+                 whose resume is bit-identical to never having crashed;
+``supervisor`` — the watchdog parent process (`repro supervise`).
+"""
+
+from repro.recovery.journal import (
+    JournalCorrupt,
+    MergeJournal,
+    RecoveryDivergence,
+    read_journal,
+    replay_journal,
+)
+from repro.recovery.runner import RecoverableRun, RunSpec, run_to_completion
+from repro.recovery.snapshot import (
+    CheckpointCorrupt,
+    CheckpointStore,
+    dump_checkpoint,
+    load_checkpoint,
+)
+from repro.recovery.supervisor import Supervisor, SupervisorOutcome
+
+__all__ = [
+    "CheckpointCorrupt",
+    "CheckpointStore",
+    "JournalCorrupt",
+    "MergeJournal",
+    "RecoverableRun",
+    "RecoveryDivergence",
+    "RunSpec",
+    "Supervisor",
+    "SupervisorOutcome",
+    "dump_checkpoint",
+    "load_checkpoint",
+    "read_journal",
+    "replay_journal",
+    "run_to_completion",
+]

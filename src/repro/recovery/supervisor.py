@@ -1,0 +1,195 @@
+"""The supervisor: a watchdog process-tree around a recoverable run.
+
+The run itself executes in a **child process** (``repro supervise
+--worker``), so that real process death — an injected
+:class:`~repro.faults.injector.ProcessCrash` realised as a hard exit, or
+the watchdog's own SIGKILL — exercises exactly the failure mode the
+journal and checkpoint layers are built for.  The parent:
+
+* polls the worker's heartbeat file and SIGKILLs it when the mtime goes
+  stale (``stall_timeout``) — a hung worker is a crash like any other;
+* restarts dead workers with ``--attempt N+1`` (which resumes from the
+  newest valid checkpoint) under a retry budget with exponential
+  backoff;
+* on completion, optionally replays the same spec *uninterrupted* in
+  process and compares state fingerprints — the crash-equivalence
+  check.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.common.io import atomic_write_text
+from repro.faults.injector import ProcessCrash
+from repro.recovery.runner import RecoverableRun, RunSpec
+
+#: Worker exit code for an injected ProcessCrash (distinguishable from
+#: tracebacks, SIGKILL, and clean exits in the supervisor's log).
+CRASH_EXIT_CODE = 73
+
+
+@dataclass
+class SupervisorOutcome:
+    """What the whole supervised campaign amounted to."""
+
+    completed: bool = False
+    attempts: int = 0
+    crashes: int = 0
+    stalls_killed: int = 0
+    exit_codes: list = field(default_factory=list)
+    result: dict = None
+    equivalence: dict = None
+
+    def to_json(self):
+        return json.dumps(
+            {
+                "completed": self.completed,
+                "attempts": self.attempts,
+                "crashes": self.crashes,
+                "stalls_killed": self.stalls_killed,
+                "exit_codes": self.exit_codes,
+                "result": self.result,
+                "equivalence": self.equivalence,
+            },
+            sort_keys=True, indent=2,
+        )
+
+
+def run_worker(workdir, attempt):
+    """Child-process entry: run (attempt 0) or resume (attempt > 0).
+
+    Returns the process exit code; an injected crash becomes a hard
+    ``os._exit`` so no buffered journal bytes sneak to disk on the way
+    down — exactly what SIGKILL would do.
+    """
+    workdir = Path(workdir)
+    try:
+        if attempt == 0:
+            spec = RunSpec.from_json((workdir / "spec.json").read_text())
+            run = RecoverableRun(spec, workdir, attempt=0)
+        else:
+            run = RecoverableRun.resume(workdir, attempt=attempt)
+        run.run()
+    except ProcessCrash:
+        os._exit(CRASH_EXIT_CODE)
+    return 0
+
+
+class Supervisor:
+    """Parent-side watchdog/restart loop for one run workdir."""
+
+    def __init__(self, workdir, spec=None, max_attempts=5,
+                 stall_timeout=30.0, poll_interval=0.2,
+                 backoff_base=0.05, backoff_cap=2.0):
+        self.workdir = Path(workdir)
+        self.workdir.mkdir(parents=True, exist_ok=True)
+        if spec is not None:
+            atomic_write_text(self.workdir / "spec.json", spec.to_json())
+        if not (self.workdir / "spec.json").exists():
+            raise FileNotFoundError(
+                f"{self.workdir}/spec.json missing: pass spec= or point at "
+                "an existing run directory"
+            )
+        self.spec = RunSpec.from_json(
+            (self.workdir / "spec.json").read_text()
+        )
+        self.max_attempts = int(max_attempts)
+        self.stall_timeout = float(stall_timeout)
+        self.poll_interval = float(poll_interval)
+        self.backoff_base = float(backoff_base)
+        self.backoff_cap = float(backoff_cap)
+
+    # Worker lifecycle --------------------------------------------------------------
+
+    def _spawn(self, attempt):
+        env = dict(os.environ)
+        src_root = str(Path(__file__).resolve().parents[2])
+        parts = env.get("PYTHONPATH", "").split(os.pathsep)
+        if src_root not in parts:
+            env["PYTHONPATH"] = os.pathsep.join(
+                [src_root] + [p for p in parts if p]
+            )
+        return subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "supervise",
+                "--worker", "--workdir", str(self.workdir),
+                "--attempt", str(attempt),
+            ],
+            env=env,
+        )
+
+    def _watch(self, proc, started_at):
+        """Wait for the worker; SIGKILL it on heartbeat stall.
+
+        Returns (exit_code, stalled).
+        """
+        heartbeat = self.workdir / "heartbeat"
+        while True:
+            rc = proc.poll()
+            if rc is not None:
+                return rc, False
+            try:
+                last = heartbeat.stat().st_mtime
+            except OSError:
+                last = started_at  # no beat yet: count from spawn
+            # A heartbeat file left behind by a previous attempt is
+            # already stale; the new worker gets a full stall_timeout
+            # from its own spawn before the first beat counts.
+            last = max(last, started_at)
+            if time.time() - last > self.stall_timeout:
+                proc.send_signal(signal.SIGKILL)
+                proc.wait()
+                return -signal.SIGKILL, True
+            time.sleep(self.poll_interval)
+
+    # Main loop --------------------------------------------------------------------
+
+    def run(self, check_equivalence=False):
+        outcome = SupervisorOutcome()
+        for attempt in range(self.max_attempts):
+            outcome.attempts = attempt + 1
+            proc = self._spawn(attempt)
+            rc, stalled = self._watch(proc, time.time())
+            outcome.exit_codes.append(rc)
+            if rc == 0:
+                outcome.completed = True
+                break
+            if stalled:
+                outcome.stalls_killed += 1
+            else:
+                outcome.crashes += 1
+            time.sleep(
+                min(self.backoff_cap, self.backoff_base * (2 ** attempt))
+            )
+        if outcome.completed:
+            outcome.result = json.loads(
+                (self.workdir / "result.json").read_text()
+            )
+            if check_equivalence:
+                outcome.equivalence = self.check_equivalence(outcome.result)
+        atomic_write_text(self.workdir / "outcome.json", outcome.to_json())
+        return outcome
+
+    # Crash-equivalence ------------------------------------------------------------
+
+    def check_equivalence(self, result):
+        """Replay the spec uninterrupted; compare final fingerprints."""
+        ref_dir = self.workdir / "_reference"
+        ref_run = RecoverableRun(
+            self.spec.without_crashes(), ref_dir, attempt=0
+        )
+        ref_result = ref_run.run()
+        return {
+            "fingerprint": result["fingerprint"],
+            "reference_fingerprint": ref_result["fingerprint"],
+            "equivalent": (
+                result["fingerprint"] == ref_result["fingerprint"]
+            ),
+            "reference_validation": ref_result["validation"],
+        }

@@ -61,7 +61,9 @@ class MemorySavingsResult:
 
 
 def run_memory_savings(app, pages_per_vm=2000, n_vms=10, seed=2017,
-                       engine="ksm", max_passes=8, churn=True):
+                       engine="ksm", max_passes=8, churn=True,
+                       checkpoint_every=0, checkpoint_dir=None,
+                       resume=False):
     """Steady-state memory-savings run for one application (Fig. 7).
 
     ``engine`` selects the software daemon or the PageForge driver; the
@@ -70,17 +72,32 @@ def run_memory_savings(app, pages_per_vm=2000, n_vms=10, seed=2017,
     keeps rewriting the frequently-written population between scan
     intervals, so those pages never stabilise — without it they are
     duplicates like any others and merge, overstating the savings.
+
+    With ``checkpoint_dir`` set and ``checkpoint_every > 0``, the full
+    run state (hypervisor, merger, churner RNG, loop counters) is
+    snapshotted every N scan ticks; ``resume=True`` continues from the
+    newest valid checkpoint and produces a bit-identical result to the
+    uninterrupted run.
     """
     app = _resolve_app(app)
     rng = DeterministicRNG(seed, f"fig7/{app.name}")
     capacity = max(pages_per_vm * n_vms * 4 * 4096, 64 << 20)
+
+    store = None
+    restored = None
+    if checkpoint_dir is not None:
+        from repro.recovery.snapshot import CheckpointStore
+
+        store = CheckpointStore(checkpoint_dir)
+        if resume:
+            restored = store.latest()
+
     memory = PhysicalMemory(capacity)
     hypervisor = Hypervisor(physical_memory=memory)
     profile = MemoryImageProfile.for_app(app, pages_per_vm)
-    images = build_vm_images(hypervisor, profile, n_vms, rng)
-
-    before = hypervisor.footprint_pages()
-    before_by_cat = hypervisor.footprint_by_category()
+    if restored is None:
+        images = build_vm_images(hypervisor, profile, n_vms, rng)
+        churn_pages = [tuple(p) for p in images.churn_pages] if churn else []
 
     ksm_config = KSMConfig(pages_to_scan=4000)
     if engine == "ksm":
@@ -96,20 +113,69 @@ def run_memory_savings(app, pages_per_vm=2000, n_vms=10, seed=2017,
     else:
         raise ValueError(f"unknown engine: {engine!r}")
 
+    if restored is None:
+        before = hypervisor.footprint_pages()
+        before_by_cat = hypervisor.footprint_by_category()
+        start_tick = 0
+        last_footprint = None
+        stable = 0
+    else:
+        from repro.recovery import serialize as _ser
+
+        state, _header = restored
+        _ser.restore_hypervisor(hypervisor, state["hypervisor"])
+        if state["merger_kind"] == "driver":
+            _ser.restore_driver(merger, state["merger"])
+        else:
+            _ser.restore_daemon(merger, state["merger"])
+        churn_pages = [tuple(p) for p in state["churn_pages"]]
+        before = state["before"]
+        before_by_cat = state["before_by_cat"]
+        start_tick = state["tick"]
+        last_footprint = state["last_footprint"]
+        stable = state["stable"]
+
     churner = WriteChurner(
-        hypervisor, images.churn_pages if churn else [],
-        rng.derive("churn"), fraction_per_tick=0.5,
+        hypervisor, churn_pages, rng.derive("churn"), fraction_per_tick=0.5,
     )
     daemon = merger if engine == "ksm" else merger.daemon
-    passes_before = daemon.stats.passes_completed
-    last_footprint = None
-    stable = 0
-    for _ in range(max_passes * 40):
+    if restored is not None:
+        from repro.recovery import serialize as _ser
+
+        _ser.restore_churner(churner, state["churner"])
+        passes_before = state["passes_before"]
+    else:
+        passes_before = daemon.stats.passes_completed
+
+    def _checkpoint(tick):
+        from repro.recovery import serialize as _ser
+
+        snap = {
+            "tick": tick,
+            "passes_before": passes_before,
+            "last_footprint": last_footprint,
+            "stable": stable,
+            "before": before,
+            "before_by_cat": before_by_cat,
+            "churn_pages": [list(p) for p in churn_pages],
+            "churner": _ser.capture_churner(churner),
+            "hypervisor": _ser.capture_hypervisor(hypervisor),
+            "merger_kind": "daemon" if engine == "ksm" else "driver",
+            "merger": (
+                _ser.capture_daemon(merger) if engine == "ksm"
+                else _ser.capture_driver(merger)
+            ),
+        }
+        store.save(tick, snap, meta={"experiment": "savings",
+                                     "app": app.name, "engine": engine})
+
+    for tick in range(start_tick, max_passes * 40):
         churner.tick()
         interval = daemon.scan_pages(ksm_config.pages_to_scan)
+        done = False
         if interval.pages_scanned == 0 and interval.passes_completed == 0:
-            break
-        if interval.passes_completed:
+            done = True
+        elif interval.passes_completed:
             passes = daemon.stats.passes_completed - passes_before
             footprint = hypervisor.footprint_pages()
             if (
@@ -121,9 +187,16 @@ def run_memory_savings(app, pages_per_vm=2000, n_vms=10, seed=2017,
                 stable = 0
             last_footprint = footprint
             if stable >= 2 and passes >= 3:
-                break
-            if passes >= max_passes:
-                break
+                done = True
+            elif passes >= max_passes:
+                done = True
+        if (
+            store is not None and checkpoint_every
+            and (tick + 1) % checkpoint_every == 0 and not done
+        ):
+            _checkpoint(tick + 1)
+        if done:
+            break
 
     return MemorySavingsResult(
         app_name=app.name,
@@ -285,11 +358,37 @@ class ExperimentResult:
 
 
 def run_latency_experiment(app, modes=("baseline", "ksm", "pageforge"),
-                           scale=None, machine=None, seed=2017):
-    """Run one app under each configuration; returns ExperimentResult."""
+                           scale=None, machine=None, seed=2017,
+                           checkpoint_dir=None, resume=False):
+    """Run one app under each configuration; returns ExperimentResult.
+
+    The timed system's event queue holds closures and cannot be
+    snapshotted mid-run, so checkpointing here is coarse: each completed
+    (app, mode) summary is atomically published to ``checkpoint_dir``
+    and, with ``resume=True``, finished modes are loaded instead of
+    re-simulated.
+    """
+    import json as _json
+    from dataclasses import asdict as _asdict
+    from pathlib import Path as _Path
+
+    from repro.common.io import atomic_write_text
+
     app = _resolve_app(app)
     result = ExperimentResult(app_name=app.name)
     for mode in modes:
+        mode_path = None
+        if checkpoint_dir is not None:
+            mode_path = (
+                _Path(checkpoint_dir) / f"latency-{app.name}-{mode}.json"
+            )
+            if resume and mode_path.exists():
+                try:
+                    data = _json.loads(mode_path.read_text())
+                    result.summaries[mode] = LatencySummary(**data)
+                    continue
+                except (ValueError, TypeError):
+                    pass  # unreadable summary: re-run the mode
         system = ServerSystem(
             app, mode=mode, machine=machine, scale=scale, seed=seed
         )
@@ -321,4 +420,8 @@ def run_latency_experiment(app, modes=("baseline", "ksm", "pageforge"),
                 system.pf_driver.hw_stats.std_table_cycles
             )
         result.summaries[mode] = summary
+        if mode_path is not None:
+            atomic_write_text(
+                mode_path, _json.dumps(_asdict(summary), sort_keys=True)
+            )
     return result

@@ -154,10 +154,11 @@ def canonical_json(fingerprints):
 
 
 def write_goldens(fingerprints, path=DEFAULT_GOLDENS_PATH):
-    path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(canonical_json(fingerprints))
-    return path
+    # Atomic publish: a crash mid-regeneration must not leave a torn
+    # golden file that every later `verify` run would fail against.
+    from repro.common.io import atomic_write_text
+
+    return atomic_write_text(path, canonical_json(fingerprints))
 
 
 def load_goldens(path=DEFAULT_GOLDENS_PATH):

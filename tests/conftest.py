@@ -1,5 +1,7 @@
 """Shared fixtures for the test suite."""
 
+import os
+
 import numpy as np
 import pytest
 
@@ -7,6 +9,20 @@ from repro.common.rng import DeterministicRNG
 from repro.common.units import PAGE_BYTES
 from repro.mem import MemoryController, PhysicalMemory
 from repro.virt import Hypervisor
+
+try:
+    from hypothesis import settings
+
+    # CI runs pin the property tests down: no wall-clock deadline (shared
+    # runners stall unpredictably) and derandomized example generation
+    # (a red CI build must be reproducible locally from the same seed).
+    settings.register_profile("ci", deadline=None, derandomize=True)
+    if os.environ.get("HYPOTHESIS_PROFILE") or os.environ.get("CI"):
+        settings.load_profile(
+            os.environ.get("HYPOTHESIS_PROFILE", "ci")
+        )
+except ImportError:  # hypothesis is optional outside the property tests
+    pass
 
 
 @pytest.fixture

@@ -1,0 +1,151 @@
+"""Hysteresis of the degradation governor under oscillating fault rates."""
+
+import pytest
+
+from repro.common.config import ResilienceConfig
+from repro.faults.governor import DegradationGovernor
+
+try:
+    from hypothesis import given, strategies as st
+
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - hypothesis is in the image
+    HAVE_HYPOTHESIS = False
+
+
+def _config():
+    return ResilienceConfig(
+        fallback_fault_rate=2e-4, recovery_fault_rate=5e-5,
+        ewma_alpha=0.5, probe_interval=4, recovery_probes=2,
+    )
+
+
+class Feeder:
+    """Feeds per-interval (rate, lines) pairs as the cumulative counters
+    the governor actually consumes."""
+
+    def __init__(self, governor, lines_per_interval=10_000):
+        self.governor = governor
+        self.lines = lines_per_interval
+        self._events = 0
+        self._lines = 0
+
+    def interval(self, rate):
+        self._lines += self.lines
+        self._events += int(rate * self.lines)
+        self.governor.plan_interval()
+        return self.governor.observe(self._events, self._lines)
+
+
+def test_fallback_then_stay_degraded_under_oscillation():
+    """An oscillating fault rate (noisy above/below the *recovery*
+    threshold but never persistently healthy) must not flap the backend:
+    every unhealthy probe resets the consecutive-healthy counter."""
+    governor = DegradationGovernor(_config())
+    feeder = Feeder(governor)
+
+    # Two loud intervals push the EWMA over the fallback threshold.
+    assert feeder.interval(1e-3) == "software"
+    assert governor.transitions == [(1, "software")]
+
+    # Oscillate: four quiet intervals (just enough EWMA decay for ONE
+    # healthy probe, with alpha=0.5 halving it each time) then a spike.
+    # One healthy probe is never followed by a second consecutive one,
+    # so with recovery_probes=2 the governor must hold the software
+    # backend — the spike resets the consecutive-healthy counter.
+    for cycle in range(6):
+        for _ in range(4):
+            feeder.interval(0.0)   # healthy observations
+        assert governor._healthy_probes == 1, cycle
+        feeder.interval(1e-3)      # spike: resets the counter
+        assert governor._healthy_probes == 0
+        assert governor.backend == "software", cycle
+    # No recovery transition ever happened.
+    assert governor.transitions == [(1, "software")]
+    assert governor.intervals_degraded > 0
+
+
+def test_recovery_needs_consecutive_healthy_probes():
+    governor = DegradationGovernor(_config())
+    feeder = Feeder(governor)
+    feeder.interval(1e-3)  # EWMA jumps to 5e-4: fallback
+    assert governor.backend == "software"
+    # Quiet intervals halve the EWMA (alpha=0.5): 5e-4 needs 4 halvings
+    # to cross recovery_fault_rate=5e-5, then recovery_probes=2
+    # consecutive healthy probes — recovery lands on quiet interval 5.
+    quiet_needed = 0
+    while governor.backend == "software":
+        feeder.interval(0.0)
+        quiet_needed += 1
+        assert quiet_needed < 20, "governor never recovered"
+    assert quiet_needed == 5
+    assert governor.transitions[-1][1] == "hardware"
+    assert [b for _, b in governor.transitions] == ["software", "hardware"]
+
+
+def test_probe_cadence_while_degraded():
+    governor = DegradationGovernor(_config())
+    feeder = Feeder(governor)
+    feeder.interval(1e-3)
+    assert governor.backend == "software"
+    # While degraded, exactly every probe_interval-th interval plans a
+    # hardware probe; the rest run in software.
+    plans = []
+    for _ in range(8):
+        plans.append(governor.plan_interval())
+        governor.observe(governor._last_events, governor._last_lines)
+    hardware_probes = plans.count("hardware")
+    assert hardware_probes == 2  # 8 intervals / probe_interval=4
+    assert set(plans) == {"hardware", "software"}
+
+
+def test_switch_is_idempotent_directly():
+    governor = DegradationGovernor(_config())
+    governor._switch("hardware")  # already there: no-op
+    assert governor.transitions == []
+    governor._switch("software")
+    governor._healthy_probes = 1
+    governor._switch("software")  # repeated: no duplicate transition
+    assert governor.transitions == [(0, "software")]
+    assert governor._healthy_probes == 1  # no-op did not clear state
+
+
+if HAVE_HYPOTHESIS:
+
+    @given(st.lists(st.sampled_from(["hardware", "software"]),
+                    min_size=1, max_size=40))
+    def test_switch_idempotence_property(sequence):
+        """However _switch is driven, the transition history never
+        records two consecutive entries with the same backend, and a
+        same-backend switch changes nothing at all."""
+        governor = DegradationGovernor(_config())
+        for backend in sequence:
+            before = (governor.backend, governor._healthy_probes,
+                      list(governor.transitions))
+            governor._switch(backend)
+            if backend == before[0]:
+                assert governor.backend == before[0]
+                assert governor._healthy_probes == before[1]
+                assert governor.transitions == before[2]
+        backends = [b for _, b in governor.transitions]
+        assert all(a != b for a, b in zip(backends, backends[1:]))
+        assert governor.backend == (
+            backends[-1] if backends else "hardware"
+        )
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=5e-3,
+                              allow_nan=False), min_size=1, max_size=60))
+    def test_observe_never_flaps_within_one_interval(rates):
+        """Property: the transition history produced by any observation
+        sequence alternates backends (hysteresis, not flapping)."""
+        governor = DegradationGovernor(_config())
+        feeder = Feeder(governor)
+        for rate in rates:
+            feeder.interval(rate)
+        backends = [b for _, b in governor.transitions]
+        assert all(a != b for a, b in zip(backends, backends[1:]))
+else:  # pragma: no cover
+
+    @pytest.mark.skip(reason="hypothesis not installed")
+    def test_switch_idempotence_property():
+        pass

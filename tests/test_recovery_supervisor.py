@@ -1,0 +1,97 @@
+"""The supervisor watchdog, exercised with real child processes.
+
+These tests spawn actual ``python -m repro supervise --worker``
+subprocesses and (for the stall test) really SIGKILL one, so they are
+slow-marked; the in-process crash-equivalence coverage lives in
+``test_recovery.py``.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.faults import FaultPlan
+from repro.recovery import RunSpec, Supervisor
+from repro.recovery.supervisor import CRASH_EXIT_CODE
+
+pytestmark = pytest.mark.slow
+
+#: Repo root (tests/ lives directly under it).
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[1]
+
+
+def _spec(**overrides):
+    plan = overrides.pop("plan", None) or FaultPlan(
+        seed=3, vm_destroy_prob=0.05, unmerge_churn_prob=0.3,
+        crash_after_ops=35,
+    )
+    defaults = dict(app="moses", mode="ksm", seed=3, pages_per_vm=40,
+                    n_vms=3, intervals=6, checkpoint_every=2, plan=plan)
+    defaults.update(overrides)
+    return RunSpec(**defaults)
+
+
+def test_supervised_crash_and_recovery(tmp_path):
+    supervisor = Supervisor(
+        tmp_path, spec=_spec(), max_attempts=5, stall_timeout=60.0,
+        poll_interval=0.05,
+    )
+    outcome = supervisor.run(check_equivalence=True)
+    assert outcome.completed
+    assert outcome.crashes >= 1
+    # The injected ProcessCrash surfaces as the dedicated exit code,
+    # and the final attempt exits clean.
+    assert CRASH_EXIT_CODE in outcome.exit_codes
+    assert outcome.exit_codes[-1] == 0
+    assert outcome.result["validation"]["auditor_clean"]
+    assert outcome.result["validation"]["zero_false_merges"]
+    assert outcome.equivalence["equivalent"], outcome.equivalence
+    # outcome.json is published for post-mortem tooling.
+    published = json.loads((tmp_path / "outcome.json").read_text())
+    assert published["completed"] is True
+
+
+def test_supervisor_kills_stalled_worker(tmp_path):
+    spec = _spec(
+        plan=FaultPlan(seed=3, vm_destroy_prob=0.05,
+                       unmerge_churn_prob=0.3),
+        stall_at_interval=2,
+    )
+    supervisor = Supervisor(
+        tmp_path, spec=spec, max_attempts=4, stall_timeout=2.0,
+        poll_interval=0.05,
+    )
+    outcome = supervisor.run(check_equivalence=True)
+    assert outcome.stalls_killed >= 1
+    assert -9 in outcome.exit_codes  # SIGKILL really happened
+    assert outcome.completed  # the resumed attempt (no stall) finishes
+    assert outcome.equivalence["equivalent"], outcome.equivalence
+
+
+def test_supervise_cli_end_to_end(tmp_path):
+    cmd = [
+        sys.executable, "-m", "repro", "supervise",
+        "--workdir", str(tmp_path / "run"),
+        "--mode", "ksm", "--app", "moses", "--seed", "3",
+        "--pages-per-vm", "40", "--vms", "3", "--intervals", "6",
+        "--checkpoint-every", "2", "--crash-after-ops", "35",
+        "--stall-timeout", "60", "--check-equivalence",
+    ]
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(ROOT / "src")
+    proc = subprocess.run(
+        cmd, capture_output=True, text=True, timeout=300, env=env,
+        cwd=str(ROOT),
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    outcome = json.loads(
+        (tmp_path / "run" / "outcome.json").read_text()
+    )
+    assert outcome["completed"]
+    assert outcome["crashes"] >= 1
+    assert outcome["equivalence"]["equivalent"]
