@@ -15,7 +15,6 @@ import pytest
 
 from repro.common.config import KSMConfig
 from repro.common.rng import DeterministicRNG
-from repro.common.units import PAGE_BYTES
 from repro.ksm import ESXStyleMerger, KSMDaemon, UKSMDaemon
 from repro.mem import PhysicalMemory
 from repro.virt import Hypervisor

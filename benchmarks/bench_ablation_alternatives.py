@@ -13,7 +13,7 @@
 
 import pytest
 
-from repro.common.config import KSMConfig, PageForgeConfig
+from repro.common.config import KSMConfig
 from repro.common.rng import DeterministicRNG
 from repro.core.driver import PageForgeMergeDriver
 from repro.core.power import PageForgePowerModel

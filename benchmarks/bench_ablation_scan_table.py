@@ -12,7 +12,6 @@ import pytest
 from repro.common.config import KSMConfig, PageForgeConfig
 from repro.common.rng import DeterministicRNG
 from repro.core.driver import PageForgeMergeDriver
-from repro.core.power import PageForgePowerModel
 from repro.mem import MemoryController, PhysicalMemory
 from repro.virt import Hypervisor
 from repro.workloads.memimage import MemoryImageProfile, build_vm_images

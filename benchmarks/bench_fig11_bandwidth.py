@@ -6,7 +6,6 @@ consume far more DRAM bandwidth than Baseline (paper: 10 and 12 GB/s vs
 cores' and none of it is filtered by the cache hierarchy.
 """
 
-import numpy as np
 
 from benchmarks.conftest import APPS, LATENCY_SCALE
 from repro.analysis import format_fig11_bandwidth

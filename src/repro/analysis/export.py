@@ -67,6 +67,27 @@ def latency_to_rows(results):
     return rows
 
 
+def metrics_to_rows(results):
+    """Per-mode component-metrics snapshots -> long-form rows.
+
+    One row per (app, mode, metric): the flat
+    :meth:`~repro.sim.metrics.MetricsRegistry.snapshot` map every
+    backend publishes through the same registry, so a uksm run exports
+    through the identical path as the paper's three modes.
+    """
+    rows = []
+    for r in results:
+        for mode, snapshot in sorted(r.metrics.items()):
+            for metric, value in sorted(snapshot.items()):
+                rows.append({
+                    "app": r.app_name,
+                    "mode": mode,
+                    "metric": metric,
+                    "value": value,
+                })
+    return rows
+
+
 def hash_study_to_rows(results):
     """Fig. 8 results -> flat rows."""
     return [{

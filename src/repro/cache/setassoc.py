@@ -1,7 +1,7 @@
 """A set-associative cache with LRU replacement, MESI tags, and MSHRs."""
 
-from dataclasses import dataclass, field
 from collections import OrderedDict, defaultdict
+from dataclasses import dataclass, field
 
 from repro.cache.mesi import MESIState
 

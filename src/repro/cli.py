@@ -5,6 +5,8 @@ Commands map one-to-one onto the paper's experiments:
 * ``savings``   — Figure 7 (memory footprint with/without merging);
 * ``hashkeys``  — Figure 8 (jhash vs ECC key outcomes);
 * ``latency``   — Figures 9/10/11 + Tables 4/5 for chosen apps;
+* ``run``       — timed system under any registered merge backend
+  (the paper's three plus ``uksm``/``esx``);
 * ``faults``    — seeded chaos campaigns (fault injection + degradation);
 * ``demo``      — the 30-second quickstart merge demo;
 * ``verify``    — correctness gate (golden figures, differential
@@ -32,11 +34,13 @@ from repro.analysis.export import (
     faults_to_rows,
     hash_study_to_rows,
     latency_to_rows,
+    metrics_to_rows,
     rows_to_csv,
     rows_to_json,
     savings_to_rows,
 )
 from repro.common.config import TAILBENCH_APPS, default_machine_config
+from repro.sim.backends import available_backends, recoverable_backends
 
 
 def _add_export_args(parser):
@@ -126,6 +130,59 @@ def cmd_latency(args):
     print()
     print(format_table5_pageforge(results, PageForgePowerModel()))
     _export(latency_to_rows(results), args)
+    return 0
+
+
+def cmd_run(args):
+    """Timed run under any registered backend; one row per (app, mode)."""
+    from repro.sim import SimulationScale, run_latency_experiment
+
+    registered = available_backends()
+    modes = []
+    for mode in args.mode or ["baseline", "ksm", "pageforge"]:
+        if mode not in registered:
+            print(
+                f"error: unknown merge backend {mode!r}; registered "
+                f"backends: {', '.join(registered)}",
+                file=sys.stderr,
+            )
+            return 2
+        if mode not in modes:
+            modes.append(mode)
+    if "baseline" not in modes:
+        # The normalisation reference every summary row divides by.
+        modes.insert(0, "baseline")
+
+    scale = SimulationScale(
+        pages_per_vm=args.pages_per_vm, n_vms=args.vms,
+        duration_s=args.duration, warmup_s=args.warmup,
+    )
+    results = []
+    for app in args.apps:
+        print(f"running {app} ({', '.join(modes)}) ...", file=sys.stderr)
+        results.append(
+            run_latency_experiment(
+                app, modes=tuple(modes), scale=scale, seed=args.seed,
+            )
+        )
+
+    rows = latency_to_rows(results)
+    header = (f"{'app':<12} {'mode':<10} {'norm mean':>9} {'norm p95':>9} "
+              f"{'kernel%':>8} {'l3 miss':>8} {'bw GB/s':>8}")
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        print(
+            f"{row['app']:<12} {row['mode']:<10} "
+            f"{row['norm_mean']:>9.3f} {row['norm_p95']:>9.3f} "
+            f"{100 * row['kernel_share_avg']:>7.2f}% "
+            f"{row['l3_miss_rate']:>8.4f} "
+            f"{row['bandwidth_peak_gbps']:>8.3f}"
+        )
+    _export(rows, args)
+    if args.metrics_json:
+        rows_to_json(metrics_to_rows(results), args.metrics_json)
+        print(f"wrote {args.metrics_json}")
     return 0
 
 
@@ -306,6 +363,23 @@ def build_parser():
                    help="skip (app, mode) runs already summarised")
     p.set_defaults(func=cmd_latency)
 
+    p = sub.add_parser(
+        "run",
+        help="timed system under any registered merge backend",
+    )
+    _add_export_args(p)
+    p.add_argument("--mode", action="append",
+                   help="merge backend to simulate (repeatable; default: "
+                        "baseline ksm pageforge; see also: "
+                        + ", ".join(available_backends()))
+    p.add_argument("--pages-per-vm", type=int, default=400)
+    p.add_argument("--vms", type=int, default=4)
+    p.add_argument("--duration", type=float, default=0.3)
+    p.add_argument("--warmup", type=float, default=0.4)
+    p.add_argument("--metrics-json",
+                   help="write the per-mode component-metrics snapshot")
+    p.set_defaults(func=cmd_run)
+
     p = sub.add_parser("faults",
                        help="seeded chaos campaigns across merge engines")
     p.add_argument("--csv", help="write result rows to a CSV file")
@@ -329,7 +403,7 @@ def build_parser():
                         "a fresh spec")
     p.add_argument("--app", default="moses", choices=list(TAILBENCH_APPS))
     p.add_argument("--mode", default="pageforge",
-                   choices=["ksm", "pageforge"])
+                   choices=list(recoverable_backends()))
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--pages-per-vm", type=int, default=60)
     p.add_argument("--vms", type=int, default=3)

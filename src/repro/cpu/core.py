@@ -1,6 +1,6 @@
 """A core as a timed FIFO resource."""
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 @dataclass

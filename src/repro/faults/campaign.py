@@ -22,7 +22,7 @@ whole observable trajectory so reproducibility is one string compare.
 
 import hashlib
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from repro.common.config import KSMConfig, TAILBENCH_APPS
 from repro.common.rng import DeterministicRNG

@@ -8,11 +8,11 @@ byte hashed is counted, so the timing model can charge the daemon's work
 to whichever core it runs on (Table 4).
 """
 
+from repro.ksm.compare import CompareCounter, compare_pages
 from repro.ksm.daemon import KSMDaemon, KSMPassStats, KSMWorkStats
+from repro.ksm.esx import ESXStyleMerger, PageForgeESXBackend, SoftwareESXBackend
 from repro.ksm.jhash import jhash2, page_checksum
 from repro.ksm.rbtree import ContentRBTree, RBNode, WalkOutcome
-from repro.ksm.compare import CompareCounter, compare_pages
-from repro.ksm.esx import ESXStyleMerger, PageForgeESXBackend, SoftwareESXBackend
 from repro.ksm.uksm import UKSMConfig, UKSMDaemon, sample_hash
 
 __all__ = [

@@ -13,7 +13,7 @@ uses the hardware's ECC-based key as the bucket hash.  The software
 backend compares on the CPU and hashes with jhash2, like ESX would.
 """
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.ksm.compare import compare_pages
 from repro.ksm.jhash import page_checksum

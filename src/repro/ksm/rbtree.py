@@ -14,7 +14,7 @@ unstable to the stable tree.
 """
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import List, Optional
 
 from repro.ksm.compare import compare_pages
 

@@ -10,9 +10,9 @@ scheduling ablations.
 """
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
-from repro.mem.requests import MemRequest, RequestKind
+from repro.mem.requests import RequestKind
 
 
 @dataclass

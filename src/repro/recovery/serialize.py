@@ -420,6 +420,40 @@ def restore_driver(driver, state):
 
 
 # ---------------------------------------------------------------------------
+# ESX-style hash-bucket merger
+# ---------------------------------------------------------------------------
+
+def capture_esx(merger):
+    # Bucket keys are raw jhash ints; a JSON dict would stringify them,
+    # so both buckets and the pending queue travel as ordered pair
+    # lists.  Queue entries are reduced to (vm_id, gpn) and re-resolved
+    # against the restored hypervisor's live mapping objects.
+    return {
+        "stats": _stats_dict(merger.stats),
+        "buckets": [
+            [key, list(ppns)] for key, ppns in merger._buckets.items()
+        ],
+        "queue": [
+            [vm.vm_id, mapping.gpn] for vm, mapping in merger._queue
+        ],
+    }
+
+
+def restore_esx(merger, state):
+    _restore_dataclass(merger.stats, state["stats"])
+    merger._buckets = {
+        int(key): list(ppns) for key, ppns in state["buckets"]
+    }
+    hyp = merger.hypervisor
+    merger._queue = [
+        (hyp.vms[vm_id], hyp.vms[vm_id].mapping(gpn))
+        for vm_id, gpn in state["queue"]
+        if vm_id in hyp.vms and hyp.vms[vm_id].is_mapped(gpn)
+    ]
+    return merger
+
+
+# ---------------------------------------------------------------------------
 # Fault injector + governor
 # ---------------------------------------------------------------------------
 

@@ -1,0 +1,38 @@
+"""Pluggable merge backends: the registry and its built-in entries.
+
+Importing this package registers the five built-in configurations —
+``baseline``, ``ksm``, ``pageforge`` (the paper's three) plus ``uksm``
+and ``esx`` (Section 7.2's related designs) — so
+``get_backend(name)`` is the single dispatch point everywhere a mode
+string used to be compared.
+"""
+
+# Importing the implementation modules is what registers them.
+from repro.sim.backends.base import MergeBackend, MergerBundle
+from repro.sim.backends.baseline import BaselineBackend
+from repro.sim.backends.cachecost import CacheCostSink
+from repro.sim.backends.esx import ESXBackend
+from repro.sim.backends.ksm import KSMSoftwareBackend
+from repro.sim.backends.pageforge import PageForgeBackend
+from repro.sim.backends.registry import (
+    available_backends,
+    get_backend,
+    recoverable_backends,
+    register_backend,
+)
+from repro.sim.backends.uksm import UKSMBackend
+
+__all__ = [
+    "BaselineBackend",
+    "CacheCostSink",
+    "ESXBackend",
+    "KSMSoftwareBackend",
+    "MergeBackend",
+    "MergerBundle",
+    "PageForgeBackend",
+    "UKSMBackend",
+    "available_backends",
+    "get_backend",
+    "recoverable_backends",
+    "register_backend",
+]

@@ -1,0 +1,14 @@
+"""The no-merging baseline: the paper's reference configuration."""
+
+from repro.sim.backends.base import MergeBackend
+from repro.sim.backends.registry import register_backend
+
+
+@register_backend("baseline")
+class BaselineBackend(MergeBackend):
+    """Same-page merging disabled; every hook stays a no-op.
+
+    The base class already audits the hypervisor and schedules nothing,
+    so this class only exists to make "no merging" a first-class
+    registry entry rather than a fall-through.
+    """

@@ -1,0 +1,129 @@
+"""The ESX-style backend: hash-bucket merging as a kernel thread.
+
+Wires :class:`~repro.ksm.esx.ESXStyleMerger` (Section 7.2's VMware-like
+design: full-page hash keys, bucket lookups, byte-compare only on key
+collisions) into the timed system on the same chunk path KSM uses.
+
+ESX's cost shape differs from KSM's: there is no tree to maintain (far
+less bookkeeping per page) but every scanned page is hashed in full —
+4 KB through jhash2 instead of KSM's 1 KB change-detection window.  The
+chunk cost mirrors the KSM formula at the same per-byte rates, with
+memory stalls estimated in bulk (miss fraction floored at the
+full-scale value) like the PageForge software-fallback interval — the
+ESX merger has no cache-cost sink wired.
+"""
+
+from repro.ksm.esx import ESXStyleMerger
+from repro.sim.backends.base import MergeBackend, MergerBundle
+from repro.sim.backends.registry import register_backend
+
+PAGE_BYTES = 4096
+
+#: Per-page bookkeeping cycles: bucket lookup + list insert + rmap
+#: check, with no content-tree maintenance (KSM's dominant "other"
+#: cost) — the structural advantage of hash buckets over trees.
+BOOKKEEPING_CYCLES_PER_PAGE = 6_000.0
+
+
+@register_backend("esx")
+class ESXBackend(MergeBackend):
+    """ESX-style hash-bucket merging, run as a budgeted kernel chunk."""
+
+    # The merger keeps no serialisable tree state and the recovery
+    # validator audits KSM trees, so crash-safe runs exclude it.
+    supports_recovery = False
+
+    # Timed face -----------------------------------------------------------------
+
+    def build(self):
+        system = self.system
+        self.merger = ESXStyleMerger(system.hypervisor)
+        self.bundle = MergerBundle(kind=self.name, merger=self.merger)
+        system.esx = self.merger
+
+    def start(self, events):
+        events.schedule(0.001, self._wake)
+
+    def _wake(self):
+        self.system.schedule_kernel_chunk(
+            self._run_chunk, on_done=self._sleep_then_wake
+        )
+
+    def _sleep_then_wake(self):
+        sleep_s = self.system.machine.ksm.sleep_millisecs / 1000.0
+        self.system.events.schedule_in(sleep_s, self._wake)
+
+    def _run_chunk(self):
+        """Execute one bucket-scan interval; returns core occupancy (s)."""
+        system = self.system
+        now = system.events.now
+        system.churner.tick()
+        interval = self.merger.scan_pages(system.machine.ksm.pages_to_scan)
+        scale = system.scale
+        # Every scanned page is hashed in full (the ESX key must
+        # discriminate, not just detect writes); compares happen only on
+        # bucket collisions.  Same per-byte rates as the KSM cost model.
+        hash_bytes = interval.pages_scanned * PAGE_BYTES
+        compare_cpu = interval.bytes_compared * 2 / 6.0
+        hash_cpu = float(hash_bytes) * 3.0
+        other_cpu = (
+            interval.pages_scanned * BOOKKEEPING_CYCLES_PER_PAGE + 2000.0
+        )
+        lines = (2 * interval.bytes_compared + hash_bytes) // 64
+        miss_cost = (
+            scale.core_memory_overhead_cycles + scale.dram_latency_cycles
+        )
+        stalls = lines * scale.scan_miss_floor * miss_cost
+        dram_bytes = int(lines * 64 * scale.scan_miss_floor)
+        if dram_bytes:
+            system.dram.stats.bytes_by_source["ksm"] += dram_bytes
+            system.dram.bandwidth.record(
+                system._mem_now, dram_bytes, "ksm"
+            )
+        system.add_pollution(lines * 64, now)
+        timing = system.ksm_timing
+        timing.compare_cycles += compare_cpu + stalls * (
+            compare_cpu / (compare_cpu + hash_cpu)
+            if (compare_cpu + hash_cpu) > 0 else 0.0
+        )
+        timing.hash_cycles += hash_cpu + stalls * (
+            hash_cpu / (compare_cpu + hash_cpu)
+            if (compare_cpu + hash_cpu) > 0 else 0.0
+        )
+        timing.other_cycles += other_cpu
+        timing.intervals += 1
+        total = compare_cpu + hash_cpu + other_cpu + stalls
+        return total / system.freq
+
+    def register_metrics(self, registry):
+        registry.register("esx", lambda: self.merger.stats)
+        registry.register(
+            "esx_buckets", lambda: {"n_buckets": self.merger.n_buckets}
+        )
+
+    def summarize(self, summary):
+        compare, hsh, _other = self.system.ksm_timing.shares()
+        summary.ksm_compare_share = compare
+        summary.ksm_hash_share = hsh
+
+    # Functional face -------------------------------------------------------------
+
+    @classmethod
+    def build_functional(cls, hypervisor, ksm_config, *, line_sampling=8,
+                         verify_ecc=False, resilience=None):
+        return MergerBundle(
+            kind=cls.name, merger=ESXStyleMerger(hypervisor)
+        )
+
+    @classmethod
+    def capture_functional(cls, bundle):
+        from repro.recovery.serialize import capture_esx
+
+        return capture_esx(bundle.merger)
+
+    @classmethod
+    def restore_functional(cls, bundle, state):
+        from repro.recovery.serialize import restore_esx
+
+        restore_esx(bundle.merger, state)
+        return bundle

@@ -1,0 +1,49 @@
+"""The merge-backend registry: name -> backend class.
+
+Every way of (not) merging pages is a registered
+:class:`~repro.sim.backends.base.MergeBackend` subclass; the simulator,
+runners, CLI, and recovery layer all resolve a configuration name
+through this table instead of branching on string literals.  Adding a
+new configuration is one decorated class, not a cross-cutting edit.
+"""
+
+_REGISTRY = {}
+
+
+def register_backend(name):
+    """Class decorator: register a MergeBackend subclass under ``name``."""
+
+    def decorate(cls):
+        cls.name = name
+        _REGISTRY[name] = cls
+        return cls
+
+    return decorate
+
+
+def available_backends():
+    """Registered backend names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def recoverable_backends():
+    """Backends that support crash-safe checkpoint/journal recovery."""
+    return tuple(
+        sorted(n for n, cls in _REGISTRY.items() if cls.supports_recovery)
+    )
+
+
+def get_backend(name):
+    """Resolve a backend class by name.
+
+    Raises ``ValueError`` naming every registered backend — the error
+    the CLI surfaces for an unknown ``--mode``.
+    """
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        registered = ", ".join(available_backends())
+        raise ValueError(
+            f"unknown merge backend {name!r}; registered backends: "
+            f"{registered}"
+        ) from None

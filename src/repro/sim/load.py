@@ -1,0 +1,145 @@
+"""Query load generation and the per-core FIFO execution machinery.
+
+Extracted from ``ServerSystem``: this component owns the query arrival
+-> enqueue -> service -> complete lifecycle, the per-core FIFO queues
+that both queries and kernel work share, and the latency collector the
+experiment ultimately reads.
+
+Two work-item kinds flow through the FIFOs:
+
+* ``("query", vm, arrival_s)`` — one application query, serviced for
+  ``system._query_service_s(vm)`` seconds on the VM's pinned core;
+* ``("chunk", duration_fn, on_done)`` — one kernel work chunk (a KSM
+  scan interval, a PageForge OS-polling slice, an ESX pass slice).
+  ``duration_fn`` runs when the chunk reaches the head of its core's
+  queue and returns the occupancy in seconds; ``on_done`` (optional)
+  runs at completion *before* the next item starts — merge backends use
+  it to schedule their next wake, and that ordering is part of the
+  deterministic event schedule.
+
+Backends never touch the FIFOs directly: they go through
+``ServerSystem.schedule_kernel_chunk``, which picks the core via the
+kernel task scheduler and delegates here.
+"""
+
+from collections import deque
+
+from repro.workloads.tailbench import (
+    ArrivalProcess,
+    LatencyCollector,
+    QueryRecord,
+    ServiceTimeModel,
+)
+
+
+class LoadGenerator:
+    """Arrival processes + per-core FIFO execution for one system."""
+
+    def __init__(self, system, arrival_rngs, query_rng):
+        self.system = system
+        self.collector = LatencyCollector()
+        app = system.app
+        compression = app.sim_time_compression
+        self.arrivals = [
+            ArrivalProcess(app.qps * compression, rng)
+            for rng in arrival_rngs
+        ]
+        self.service_shape = ServiceTimeModel(
+            app.service_cv, query_rng.derive("shape")
+        )
+        n_cores = system.machine.processor.n_cores
+        self._queues = [deque() for _ in range(n_cores)]
+        self._busy = [False] * n_cores
+
+    # Arrival lifecycle ---------------------------------------------------------
+
+    def start(self, events, horizon_s):
+        """Schedule the first arrival of every VM's query stream."""
+        self._horizon = horizon_s
+        for vm_index in range(len(self.system.vms)):
+            first = self.arrivals[vm_index].next_arrival()
+            if first <= horizon_s:
+                events.schedule(first, self._query_arrival, vm_index)
+
+    def _query_arrival(self, vm_index):
+        vm = self.system.vms[vm_index]
+        now = self.system.events.now
+        self.enqueue(vm.pinned_core, ("query", vm, now))
+        nxt = self.arrivals[vm_index].next_arrival()
+        if nxt <= self._horizon:
+            self.system.events.schedule(nxt, self._query_arrival, vm_index)
+
+    # Core FIFO machinery -------------------------------------------------------
+
+    def enqueue(self, core_id, item):
+        self._queues[core_id].append(item)
+        if not self._busy[core_id]:
+            self._start_next(core_id)
+
+    def enqueue_chunk(self, core_id, duration_fn, on_done=None):
+        """Queue one kernel work chunk on ``core_id``."""
+        self.enqueue(core_id, ("chunk", duration_fn, on_done))
+
+    def _start_next(self, core_id):
+        system = self.system
+        queue = self._queues[core_id]
+        if not queue:
+            self._busy[core_id] = False
+            return
+        self._busy[core_id] = True
+        item = queue.popleft()
+        now = system.events.now
+        system.memmodel.touch(now)
+        kind = item[0]
+        if kind == "query":
+            _kind, vm, arrival_s = item
+            service_s = system._query_service_s(vm)
+            core = system.cores[core_id]
+            core.stats.query_busy_s += service_s
+            core.stats.queries_served += 1
+            system.events.schedule(
+                now + service_s, self._complete_query,
+                core_id, vm, arrival_s, now, service_s,
+            )
+        elif kind == "chunk":
+            _kind, duration_fn, on_done = item
+            duration_s = duration_fn()
+            core = system.cores[core_id]
+            core.stats.kernel_busy_s += duration_s
+            core.stats.kernel_slices += 1
+            system.events.schedule(
+                now + duration_s, self._complete_chunk, core_id, on_done
+            )
+        else:
+            raise ValueError(f"unknown work item: {kind}")
+
+    def _complete_query(self, core_id, vm, arrival_s, start_s, service_s):
+        self.collector.add(
+            QueryRecord(
+                vm_id=vm.vm_id, arrival_s=arrival_s, start_s=start_s,
+                completion_s=start_s + service_s,
+            )
+        )
+        self._start_next(core_id)
+
+    def _complete_chunk(self, core_id, on_done):
+        # on_done runs before the next item starts: a backend's next-wake
+        # scheduling must precede the queue pop, exactly as the original
+        # _complete_kernel ordered it (the event tie-break counter sees
+        # the same schedule sequence).
+        if on_done is not None:
+            on_done()
+        self._start_next(core_id)
+
+    # Metrics --------------------------------------------------------------------
+
+    def metrics(self):
+        """Provider payload for the :class:`~repro.sim.metrics.MetricsRegistry`."""
+        cores = self.system.cores
+        return {
+            "queries_collected": len(self.collector),
+            "queries_served": sum(c.stats.queries_served for c in cores),
+            "kernel_slices": sum(c.stats.kernel_slices for c in cores),
+            "query_busy_s": sum(c.stats.query_busy_s for c in cores),
+            "kernel_busy_s": sum(c.stats.kernel_busy_s for c in cores),
+        }

@@ -7,17 +7,17 @@
 
 import hashlib
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict
 
 import numpy as np
 
-from repro.common.config import KSMConfig, MachineConfig, TAILBENCH_APPS
+from repro.common.config import KSMConfig, TAILBENCH_APPS
 from repro.common.rng import DeterministicRNG
 from repro.core.hashkey import ecc_hash_key
-from repro.ksm import KSMDaemon
 from repro.ksm.jhash import page_checksum
-from repro.mem import MemoryController, PhysicalMemory
-from repro.sim.system import ServerSystem, SimulationScale
+from repro.mem import PhysicalMemory
+from repro.sim.backends import get_backend
+from repro.sim.system import ServerSystem
 from repro.virt import Hypervisor
 from repro.workloads.memimage import (
     MemoryImageProfile,
@@ -100,18 +100,12 @@ def run_memory_savings(app, pages_per_vm=2000, n_vms=10, seed=2017,
         churn_pages = [tuple(p) for p in images.churn_pages] if churn else []
 
     ksm_config = KSMConfig(pages_to_scan=4000)
-    if engine == "ksm":
-        merger = KSMDaemon(hypervisor, ksm_config)
-    elif engine == "pageforge":
-        from repro.core.driver import PageForgeMergeDriver
-
-        controller = MemoryController(0, memory, verify_ecc=False)
-        merger = PageForgeMergeDriver(
-            hypervisor, controller, ksm_config=ksm_config,
-            line_sampling=8,
-        )
-    else:
-        raise ValueError(f"unknown engine: {engine!r}")
+    # Registry dispatch: an unknown engine raises ValueError naming the
+    # registered backends; "baseline" raises because it has no merging
+    # stack to run.
+    backend_cls = get_backend(engine)
+    bundle = backend_cls.build_functional(hypervisor, ksm_config)
+    merger = bundle.merger
 
     if restored is None:
         before = hypervisor.footprint_pages()
@@ -124,10 +118,7 @@ def run_memory_savings(app, pages_per_vm=2000, n_vms=10, seed=2017,
 
         state, _header = restored
         _ser.restore_hypervisor(hypervisor, state["hypervisor"])
-        if state["merger_kind"] == "driver":
-            _ser.restore_driver(merger, state["merger"])
-        else:
-            _ser.restore_daemon(merger, state["merger"])
+        backend_cls.restore_functional(bundle, state["merger"])
         churn_pages = [tuple(p) for p in state["churn_pages"]]
         before = state["before"]
         before_by_cat = state["before_by_cat"]
@@ -138,14 +129,13 @@ def run_memory_savings(app, pages_per_vm=2000, n_vms=10, seed=2017,
     churner = WriteChurner(
         hypervisor, churn_pages, rng.derive("churn"), fraction_per_tick=0.5,
     )
-    daemon = merger if engine == "ksm" else merger.daemon
     if restored is not None:
         from repro.recovery import serialize as _ser
 
         _ser.restore_churner(churner, state["churner"])
         passes_before = state["passes_before"]
     else:
-        passes_before = daemon.stats.passes_completed
+        passes_before = merger.stats.passes_completed
 
     def _checkpoint(tick):
         from repro.recovery import serialize as _ser
@@ -160,23 +150,20 @@ def run_memory_savings(app, pages_per_vm=2000, n_vms=10, seed=2017,
             "churn_pages": [list(p) for p in churn_pages],
             "churner": _ser.capture_churner(churner),
             "hypervisor": _ser.capture_hypervisor(hypervisor),
-            "merger_kind": "daemon" if engine == "ksm" else "driver",
-            "merger": (
-                _ser.capture_daemon(merger) if engine == "ksm"
-                else _ser.capture_driver(merger)
-            ),
+            "merger_kind": engine,
+            "merger": backend_cls.capture_functional(bundle),
         }
         store.save(tick, snap, meta={"experiment": "savings",
                                      "app": app.name, "engine": engine})
 
     for tick in range(start_tick, max_passes * 40):
         churner.tick()
-        interval = daemon.scan_pages(ksm_config.pages_to_scan)
+        interval = merger.scan_pages(ksm_config.pages_to_scan)
         done = False
         if interval.pages_scanned == 0 and interval.passes_completed == 0:
             done = True
         elif interval.passes_completed:
-            passes = daemon.stats.passes_completed - passes_before
+            passes = merger.stats.passes_completed - passes_before
             footprint = hypervisor.footprint_pages()
             if (
                 last_footprint is not None
@@ -204,7 +191,7 @@ def run_memory_savings(app, pages_per_vm=2000, n_vms=10, seed=2017,
         pages_after=hypervisor.footprint_pages(),
         before_by_category=before_by_cat,
         after_by_category=hypervisor.footprint_by_category(),
-        merges=daemon.stats.merges,
+        merges=merger.stats.merges,
         engine=engine,
     )
 
@@ -343,10 +330,17 @@ class LatencySummary:
 
 @dataclass
 class ExperimentResult:
-    """All three modes for one application."""
+    """All requested modes for one application.
+
+    ``metrics`` holds each mode's flat component-metrics snapshot
+    (``MetricsRegistry.snapshot``) keyed by mode name; resumed modes
+    loaded from a checkpoint have no live system, so their entry is
+    absent.
+    """
 
     app_name: str
     summaries: Dict[str, LatencySummary] = field(default_factory=dict)
+    metrics: Dict[str, Dict[str, object]] = field(default_factory=dict)
 
     def normalized_mean(self, mode):
         base = self.summaries["baseline"].mean_sojourn_s
@@ -408,18 +402,9 @@ def run_latency_experiment(app, modes=("baseline", "ksm", "pageforge"),
             bandwidth_breakdown=breakdown,
             footprint_pages=system.hypervisor.footprint_pages(),
         )
-        if mode == "ksm":
-            compare, hsh, _other = system.ksm_timing.shares()
-            summary.ksm_compare_share = compare
-            summary.ksm_hash_share = hsh
-        if mode == "pageforge":
-            summary.pf_mean_table_cycles = (
-                system.pf_driver.hw_stats.mean_table_cycles
-            )
-            summary.pf_std_table_cycles = (
-                system.pf_driver.hw_stats.std_table_cycles
-            )
+        system.backend.summarize(summary)
         result.summaries[mode] = summary
+        result.metrics[mode] = system.metrics.snapshot()
         if mode_path is not None:
             atomic_write_text(
                 mode_path, _json.dumps(_asdict(summary), sort_keys=True)

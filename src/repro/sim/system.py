@@ -1,8 +1,27 @@
 """The composed server system and its timing model.
 
 One :class:`ServerSystem` instance is one experiment: the Table 2 machine
-running one TailBench application in one configuration (baseline / ksm /
-pageforge).  Queries are served FIFO by each VM's pinned core.
+running one TailBench application in one merging configuration.  The
+paper's three configurations (baseline / ksm / pageforge) plus the
+Section 7.2 related designs (uksm / esx) are *merge backends*, resolved
+through :mod:`repro.sim.backends` — the system itself never branches on
+a mode string.
+
+**Component architecture.**  ``ServerSystem`` is the composition root
+over four focused components wired over the shared
+:class:`~repro.sim.engine.EventQueue`:
+
+* :class:`~repro.sim.memmodel.MemoryModel` — the interference model
+  (DRAM latency, bandwidth contention, L3 pollution) and the
+  memory-side clock;
+* :class:`~repro.sim.load.LoadGenerator` — query arrival -> enqueue ->
+  service -> complete lifecycle and the per-core FIFOs that queries and
+  kernel chunks share;
+* a :class:`~repro.sim.backends.base.MergeBackend` — the merging
+  machinery for the configured mode, driving itself through
+  :meth:`ServerSystem.schedule_kernel_chunk`;
+* :class:`~repro.sim.metrics.MetricsRegistry` — every component's
+  counters behind one flat export path.
 
 **What is simulated vs. modelled.**  The merging machinery is simulated
 at line granularity: the KSM daemon really walks content trees, hashes
@@ -32,32 +51,38 @@ images (``SimulationScale.pages_per_vm``).  KSM's *per-interval* work
 core experiences per interval matches the paper's configuration.
 """
 
-import math
-from collections import deque
 from dataclasses import dataclass
 
 from repro.cache import CoreCacheHierarchy, SetAssocCache, SnoopBus
 from repro.common.config import MachineConfig
 from repro.common.rng import DeterministicRNG
-from repro.core.driver import PageForgeMergeDriver
 from repro.cpu import Core, KernelTaskScheduler
-from repro.ksm import KSMDaemon
-from repro.ksm.daemon import StaleNodeError
 from repro.mem import MemoryController, PhysicalMemory
 from repro.mem.dram import DRAMModel
+from repro.sim.backends import get_backend
+from repro.sim.backends.cachecost import CacheCostSink as _CacheCostSink
+from repro.sim.engine import EventQueue
+from repro.sim.load import LoadGenerator
+from repro.sim.memmodel import MemoryModel
+from repro.sim.metrics import KSMTimingStats, MetricsRegistry
 from repro.virt import Hypervisor
 from repro.workloads.memimage import (
     MemoryImageProfile,
     WriteChurner,
     build_vm_images,
 )
-from repro.workloads.tailbench import (
-    ArrivalProcess,
-    LatencyCollector,
-    QueryRecord,
-    ServiceTimeModel,
-)
 
+__all__ = [
+    "MODES",
+    "KSMTimingStats",
+    "ServerSystem",
+    "SimulationScale",
+    "_CacheCostSink",
+]
+
+#: The paper's three evaluated configurations (Section 5.3).  The
+#: backend registry is wider (``repro.sim.backends.available_backends``
+#: adds ``uksm`` and ``esx``); MODES stays the canonical figure set.
 MODES = ("baseline", "ksm", "pageforge")
 
 
@@ -94,150 +119,13 @@ class SimulationScale:
         return self.warmup_s + self.duration_s
 
 
-@dataclass
-class KSMTimingStats:
-    """Cycle attribution inside the KSM process (Table 4 columns 3-4)."""
-
-    compare_cycles: float = 0.0
-    hash_cycles: float = 0.0
-    other_cycles: float = 0.0
-    intervals: int = 0
-
-    @property
-    def total_cycles(self):
-        return self.compare_cycles + self.hash_cycles + self.other_cycles
-
-    def shares(self):
-        total = self.total_cycles
-        if total <= 0:
-            return 0.0, 0.0, 0.0
-        return (
-            self.compare_cycles / total,
-            self.hash_cycles / total,
-            self.other_cycles / total,
-        )
-
-
-class _CacheCostSink:
-    """Streams the KSM daemon's touched lines through real caches.
-
-    Every byte the software daemon compares or hashes moves through the
-    L1/L2 of the core currently hosting the ksmd thread and through the
-    shared L3 — this is the pollution mechanism of Section 3.1, and the
-    stall cycles accumulated here become part of the daemon's occupancy.
-    """
-
-    #: One in SAMPLE lines takes the full (timed) L1/L2/L3/DRAM path;
-    #: the rest are accounted in bulk (stall cycles and DRAM bytes are
-    #: extrapolated from the sampled lines' hit/miss mix).
-    SAMPLE = 16
-
-    def __init__(self, system):
-        self.system = system
-        self.category = "other"
-        self.reset()
-
-    def reset(self):
-        self.stall_cycles = 0.0
-        self.stalls_by_category = {"compare": 0.0, "hash": 0.0}
-        self.lines_streamed = 0
-
-    def _stream(self, ppn, n_lines, start_line=0):
-        system = self.system
-        hierarchy = system.hierarchies[system.ksm_core]
-        sample = self.SAMPLE
-        base = ppn * 64
-        sampled = 0
-        sampled_misses = 0
-        sampled_stall = 0
-        for i in range(0, n_lines, sample):
-            addr = base + ((start_line + i) % 64)
-            result = hierarchy.access(addr, is_write=False, source="ksm")
-            sampled += 1
-            sampled_stall += result.latency_cycles
-            if result.level == "MEM":
-                sampled_misses += 1
-            system.advance_mem_clock(result.latency_cycles)
-        if sampled == 0:
-            return
-        # Extrapolate the unsampled lines from the sampled hit/miss mix,
-        # flooring the miss fraction at the full-scale value (the paper's
-        # scanned set vastly exceeds the L3; a scaled-down image's tree
-        # pages would otherwise stay resident and flatter the daemon).
-        measured_miss = sampled_misses / sampled
-        floor = system.scale.scan_miss_floor
-        miss_frac = max(measured_miss, floor)
-        stall = sampled_stall * n_lines / sampled
-        if measured_miss < floor:
-            extra_misses = (floor - measured_miss) * n_lines
-            miss_cost = (
-                system.scale.core_memory_overhead_cycles
-                + system.scale.dram_latency_cycles
-            )
-            stall += extra_misses * miss_cost
-        self.stall_cycles += stall
-        self.stalls_by_category[self.category] = (
-            self.stalls_by_category.get(self.category, 0.0) + stall
-        )
-        unsampled = n_lines - sampled
-        if unsampled > 0:
-            dram_bytes = int(unsampled * 64 * miss_frac)
-            if dram_bytes:
-                system.dram.stats.bytes_by_source["ksm"] += dram_bytes
-                system.dram.bandwidth.record(
-                    system._mem_now, dram_bytes, "ksm"
-                )
-        self.lines_streamed += n_lines
-
-    def _node_ppn(self, node):
-        payload = node.payload
-        hyp = self.system.hypervisor
-        try:
-            if payload[0] == "stable":
-                if hyp.memory.is_allocated(payload[1]):
-                    return payload[1]
-                return None
-            _tag, vm_id, gpn = payload
-            vm = hyp.vms.get(vm_id)
-            if vm is not None and vm.is_mapped(gpn):
-                return vm.mapping(gpn).ppn
-        except (KeyError, StaleNodeError):
-            pass
-        return None
-
-    def on_walk(self, candidate_ppn, outcome):
-        self.category = "compare"
-        if not outcome.path:
-            return
-        per_node_bytes = outcome.bytes_compared / len(outcome.path)
-        n_lines = max(1, math.ceil(per_node_bytes / 64))
-        for node in outcome.path:
-            node_ppn = self._node_ppn(node)
-            if node_ppn is not None:
-                self._stream(node_ppn, n_lines)
-        # The candidate's lines are re-read per node comparison but stay
-        # L1-resident after the first pass; stream them once.
-        self._stream(candidate_ppn, n_lines)
-
-    def on_hash_bytes(self, ppn, n_bytes):
-        self.category = "hash"
-        self._stream(ppn, max(1, math.ceil(n_bytes / 64)))
-
-    def on_merge_verify(self, ppn_a, ppn_b, n_bytes):
-        self.category = "compare"
-        n_lines = max(1, math.ceil(n_bytes / 64))
-        self._stream(ppn_a, n_lines)
-        self._stream(ppn_b, n_lines)
-
-
 class ServerSystem:
     """One full-machine experiment (Section 5.3 configurations)."""
 
     def __init__(self, app, mode="baseline", machine=None, scale=None,
                  seed=2017, fault_plan=None, resilience=None,
                  auditor=None):
-        if mode not in MODES:
-            raise ValueError(f"mode must be one of {MODES}, got {mode!r}")
+        backend_cls = get_backend(mode)  # ValueError lists the registry
         self.app = app
         self.mode = mode
         self.machine = machine or MachineConfig()
@@ -254,7 +142,7 @@ class ServerSystem:
         self.fault_injector = None
         self.pf_governor = None
 
-        # RNG streams: content and load are mode-independent so all three
+        # RNG streams: content and load are mode-independent so all
         # configurations see identical workloads.
         base = DeterministicRNG(seed, app.name)
         self._rng_content = base.derive("content")
@@ -267,13 +155,14 @@ class ServerSystem:
         self._build_machine()
         self._build_images()
         self._build_load()
-        self._build_merging()
+        self._build_merging(backend_cls)
         # Optional runtime verification: an InvariantAuditor re-checks
         # merge/CoW/tree/Scan-Table invariants as the system runs.
         self.auditor = auditor
         if auditor is not None:
             auditor.attach_system(self)
         self._calibrate()
+        self._build_metrics()
 
     # Construction ----------------------------------------------------------------
 
@@ -285,6 +174,9 @@ class ServerSystem:
         )
         self.memory = PhysicalMemory(capacity)
         self.dram = DRAMModel(self.machine.dram, cpu_frequency_hz=self.freq)
+        self.memmodel = MemoryModel(
+            self.machine, self.scale, self.app, self.dram, self.freq
+        )
         self.bus = SnoopBus(page_invalidation_scope="shared-only")
         self.l3 = SetAssocCache(proc.l3)
         self.bus.register_shared(self.l3)
@@ -297,24 +189,14 @@ class ServerSystem:
         self.hierarchies = [
             CoreCacheHierarchy(
                 i, proc, self.l3, self.bus,
-                memory_latency_fn=self._memory_latency,
+                memory_latency_fn=self.memmodel.core_miss_latency,
             )
             for i in range(proc.n_cores)
         ]
         self.hypervisor = Hypervisor(physical_memory=self.memory,
                                      bus=self.bus)
-        self._mem_now = 0.0
-        self._core_queues = [deque() for _ in range(proc.n_cores)]
-        self._core_busy = [False] * proc.n_cores
         self.ksm_core = 0
         self.events = None  # attached in run()
-        # Pollution state: decaying volume of merge-machinery bytes that
-        # displaced L3 contents.
-        self._pollution_bytes = 0.0
-        self._pollution_last_s = 0.0
-        # Miss-rate observation for Table 4.
-        self._miss_sum = 0.0
-        self._miss_count = 0
 
     def _build_images(self):
         profile = MemoryImageProfile.for_app(
@@ -332,54 +214,51 @@ class ServerSystem:
         )
 
     def _build_load(self):
-        self.collector = LatencyCollector()
-        compression = self.app.sim_time_compression
-        self.arrivals = [
-            ArrivalProcess(self.app.qps * compression, rng)
-            for rng in self._rng_arrivals
-        ]
-        self.service_shape = ServiceTimeModel(
-            self.app.service_cv, self._rng_query.derive("shape")
-        )
+        self.load = LoadGenerator(self, self._rng_arrivals, self._rng_query)
 
-    def _build_merging(self):
+    def _build_merging(self, backend_cls):
+        # Legacy component attributes: the backend that builds one fills
+        # it in; the rest stay None so callers can probe by attribute.
         self.ksm = None
         self.pf_driver = None
+        self.esx = None
         self.ksm_timing = KSMTimingStats()
         self.scheduler = KernelTaskScheduler(
             self.machine.processor.n_cores, self._rng_mode.derive("sched")
         )
-        if self.mode == "ksm":
-            self._cost_sink = _CacheCostSink(self)
-            self.ksm = KSMDaemon(
-                self.hypervisor, self.machine.ksm,
-                cost_sink=self._cost_sink,
-            )
-        elif self.mode == "pageforge":
-            home = self.controllers[
-                self.machine.pageforge.home_memory_controller
-            ]
-            if self.fault_plan is not None:
-                # Faults only matter if the SECDED decode actually runs.
-                home.verify_ecc = True
-            self.pf_driver = PageForgeMergeDriver(
-                self.hypervisor,
-                home,
-                bus=self.bus,
-                ksm_config=self.machine.ksm,
-                pf_config=self.machine.pageforge,
-                line_sampling=8,
-                resilience=self.resilience,
-            )
-            if self.fault_plan is not None:
-                from repro.faults import DegradationGovernor, FaultInjector
+        self.backend = backend_cls(self)
+        self.backend.build()
 
-                self.fault_injector = FaultInjector(self.fault_plan).attach(
-                    controller=home, engine=self.pf_driver.engine
-                )
-                self.pf_governor = DegradationGovernor(
-                    self.pf_driver.strategy.resilience
-                )
+    def _build_metrics(self):
+        registry = MetricsRegistry()
+        registry.register("memory_model", self.memmodel.metrics)
+        registry.register("load", self.load.metrics)
+        registry.register("ksm_timing", lambda: self.ksm_timing)
+        registry.register("hypervisor", lambda: self.hypervisor.stats)
+        registry.register("footprint", lambda: {
+            "guest_pages": self.hypervisor.guest_pages(),
+            "footprint_pages": self.hypervisor.footprint_pages(),
+        })
+        registry.register("dram", lambda: self.dram.stats)
+        for i, controller in enumerate(self.controllers):
+            registry.register(f"mc{i}", self._controller_metrics(controller))
+        self.backend.register_metrics(registry)
+        self.metrics = registry
+
+    @staticmethod
+    def _controller_metrics(controller):
+        def provider():
+            stats = controller.stats
+            return {
+                "reads": stats.total_reads,
+                "writes": stats.total_writes,
+                "coalesced_requests": stats.coalesced_requests,
+                "network_serviced": stats.network_serviced,
+                "dram_serviced": stats.dram_serviced,
+                "expired_reads": stats.expired_reads,
+            }
+
+        return provider
 
     def _calibrate(self):
         """Fix the per-query L3-access count from the app's nominal mix.
@@ -402,75 +281,61 @@ class ServerSystem:
         self._n_l3_accesses = mem_budget_s * self.freq / per_access
         self._baseline_per_access_cycles = per_access
 
-    # Interference channels ----------------------------------------------------------
+    # Component delegation (stable external surface) ------------------------------
+
+    @property
+    def collector(self):
+        return self.load.collector
+
+    @property
+    def arrivals(self):
+        return self.load.arrivals
+
+    @property
+    def service_shape(self):
+        return self.load.service_shape
+
+    @property
+    def _mem_now(self):
+        return self.memmodel.now_s
+
+    @_mem_now.setter
+    def _mem_now(self, value):
+        self.memmodel.now_s = value
 
     def advance_mem_clock(self, cycles):
-        self._mem_now += cycles / self.freq
+        self.memmodel.advance(cycles)
 
     def add_pollution(self, n_bytes, now):
         """Merge-machinery bytes that displaced L3 contents."""
-        self._decay_pollution(now)
-        self._pollution_bytes += n_bytes
-
-    def _decay_pollution(self, now):
-        dt = now - self._pollution_last_s
-        if dt > 0:
-            self._pollution_bytes *= math.exp(
-                -dt / self.scale.pollution_tau_s
-            )
-            self._pollution_last_s = now
+        self.memmodel.add_pollution(n_bytes, now)
 
     def app_l3_miss_rate(self, now):
         """Current app-visible L3 local miss rate (baseline + pollution)."""
-        self._decay_pollution(now)
-        l3_bytes = self.machine.processor.l3.size_bytes
-        displaced = min(1.0, self._pollution_bytes / l3_bytes)
-        m0 = self.app.l3_miss_rate_baseline
-        return m0 + (1.0 - m0) * displaced * self.scale.pollution_sensitivity
+        return self.memmodel.app_l3_miss_rate(now)
 
     def _contention_factor(self):
-        """Latency inflation from recent DRAM bandwidth pressure."""
-        window = self.dram.bandwidth
-        bucket = int(self._mem_now / window.window_seconds)
-        buckets = window._buckets
-        recent = 0
-        if bucket in buckets:
-            recent += sum(buckets[bucket].values())
-        if bucket - 1 in buckets:
-            frac = self._mem_now / window.window_seconds - bucket
-            recent += int(sum(buckets[bucket - 1].values()) * (1 - frac))
-        peak = (
-            self.machine.dram.peak_bandwidth_bytes_per_sec
-            * window.window_seconds
-        )
-        utilization = min(1.0, recent / peak) if peak else 0.0
-        return 1.0 + self.scale.contention_beta * utilization ** 1.5
+        return self.memmodel.contention_factor()
 
     def _memory_latency(self, addr, is_write, source):
-        """L3-miss path for core-issued requests: network + MC queue +
-        DRAM, inflated by bandwidth contention."""
-        ppn, line = divmod(addr, 64)
-        base = self.dram.access_line(
-            ppn, line, is_write, source, self._mem_now
-        )
-        base += self.scale.core_memory_overhead_cycles
-        return int(base * self._contention_factor())
+        return self.memmodel.core_miss_latency(addr, is_write, source)
 
     # Query execution ----------------------------------------------------------------
 
     def _query_service_s(self, vm):
         now = self.events.now if self.events else 0.0
-        self._mem_now = max(self._mem_now, now)
-        m = self.app_l3_miss_rate(now)
-        self._miss_sum += m
-        self._miss_count += 1
-        cf = self._contention_factor()
+        self.memmodel.touch(now)
+        m = self.memmodel.app_l3_miss_rate(now)
+        self.memmodel.observe_query_miss_rate(m)
+        cf = self.memmodel.contention_factor()
         l3_rt = self.machine.processor.l3.round_trip_cycles
         per_access = (1 - m) * l3_rt + m * (
             l3_rt + self.scale.dram_latency_cycles * cf
         )
         mem_s = self._n_l3_accesses * per_access / self.freq
-        service_s = self.service_shape.factor() * (self._cpu_s + mem_s)
+        service_s = self.load.service_shape.factor() * (
+            self._cpu_s + mem_s
+        )
         # Record the query's DRAM traffic (its L3 misses) for Fig. 11,
         # spread over the query's service time rather than lumped at its
         # start (long queries would otherwise fake bandwidth spikes).
@@ -483,208 +348,35 @@ class ServerSystem:
             self.dram.bandwidth.record(now + k * window, per_slice, "app")
         return service_s
 
-    # Core FIFO machinery -----------------------------------------------------------
+    # Kernel work --------------------------------------------------------------------
 
-    def _enqueue(self, core_id, item):
-        self._core_queues[core_id].append(item)
-        if not self._core_busy[core_id]:
-            self._start_next(core_id)
+    def schedule_kernel_chunk(self, duration_fn, on_done=None,
+                              occupy_ksm_core=False):
+        """Queue one kernel chunk on the next scheduler-chosen core.
 
-    def _start_next(self, core_id):
-        queue = self._core_queues[core_id]
-        if not queue:
-            self._core_busy[core_id] = False
-            return
-        self._core_busy[core_id] = True
-        item = queue.popleft()
-        now = self.events.now
-        self._mem_now = max(self._mem_now, now)
-        kind = item[0]
-        if kind == "query":
-            _kind, vm, arrival_s = item
-            service_s = self._query_service_s(vm)
-            core = self.cores[core_id]
-            core.stats.query_busy_s += service_s
-            core.stats.queries_served += 1
-            self.events.schedule(
-                now + service_s, self._complete_query,
-                core_id, vm, arrival_s, now, service_s,
-            )
-        elif kind == "ksm":
-            duration_s = self._run_ksm_chunk()
-            core = self.cores[core_id]
-            core.stats.kernel_busy_s += duration_s
-            core.stats.kernel_slices += 1
-            self.events.schedule(
-                now + duration_s, self._complete_kernel, core_id, "ksm"
-            )
-        elif kind == "os":
-            _kind, cycles = item
-            duration_s = cycles / self.freq
-            core = self.cores[core_id]
-            core.stats.kernel_busy_s += duration_s
-            core.stats.kernel_slices += 1
-            self.events.schedule(
-                now + duration_s, self._complete_kernel, core_id, "os"
-            )
-        else:
-            raise ValueError(f"unknown work item: {kind}")
-
-    def _complete_query(self, core_id, vm, arrival_s, start_s, service_s):
-        self.collector.add(
-            QueryRecord(
-                vm_id=vm.vm_id, arrival_s=arrival_s, start_s=start_s,
-                completion_s=start_s + service_s,
-            )
-        )
-        self._start_next(core_id)
-
-    def _complete_kernel(self, core_id, kind):
-        if kind == "ksm":
-            sleep_s = self.machine.ksm.sleep_millisecs / 1000.0
-            self.events.schedule_in(sleep_s, self._ksm_wake)
-        self._start_next(core_id)
-
-    # Load events ----------------------------------------------------------------------
-
-    def _query_arrival(self, vm_index):
-        vm = self.vms[vm_index]
-        now = self.events.now
-        self._enqueue(vm.pinned_core, ("query", vm, now))
-        nxt = self.arrivals[vm_index].next_arrival()
-        if nxt <= self._horizon:
-            self.events.schedule(nxt, self._query_arrival, vm_index)
-
-    # KSM events --------------------------------------------------------------------------
-
-    def _ksm_wake(self):
-        core_id = self.scheduler.next_core()
-        self.ksm_core = core_id
-        self._enqueue(core_id, ("ksm",))
-
-    def _run_ksm_chunk(self):
-        """Execute one scan interval; returns its core occupancy (s)."""
-        now = self.events.now
-        self._cost_sink.reset()
-        self.churner.tick()
-        interval = self.ksm.scan_pages(self.machine.ksm.pages_to_scan)
-        # CPU-side cycle cost of the interval's work: word-wise memcmp
-        # at 8 B/cycle over both pages, jhash2 at ~3 cycles/byte (the
-        # kernel routine's measured rate), and per-candidate bookkeeping
-        # (rmap lookup, page-table walks, tree maintenance, locking) that
-        # the paper's Table 4 shows as the ~33% "other" share.  Memory
-        # stalls measured through the cache model are added per category.
-        compare_cpu = (
-            interval.bytes_compared * 2 + interval.merge_verify_bytes * 2
-        ) / 6.0
-        hash_cpu = float(interval.checksum_bytes) * 3.0
-        other_cpu = interval.pages_scanned * 20_000.0 + 2000.0
-        stalls = self._cost_sink.stalls_by_category
-        compare_total = compare_cpu + stalls.get("compare", 0.0)
-        hash_total = hash_cpu + stalls.get("hash", 0.0)
-        self.ksm_timing.compare_cycles += compare_total
-        self.ksm_timing.hash_cycles += hash_total
-        self.ksm_timing.other_cycles += other_cpu
-        self.ksm_timing.intervals += 1
-        # The interval's stream displaced L3 contents.
-        self.add_pollution(self._cost_sink.lines_streamed * 64, now)
-        total_cycles = compare_total + hash_total + other_cpu
-        return total_cycles / self.freq
-
-    # PageForge events ----------------------------------------------------------------------
-
-    def _pf_wake(self):
-        now = self.events.now
-        self._mem_now = max(self._mem_now, now)
-        self.churner.tick()
-        sleep_s = self.machine.ksm.sleep_millisecs / 1000.0
-        if self.pf_governor is not None:
-            self.pf_driver.set_backend(self.pf_governor.plan_interval())
-        if self.pf_driver.backend == "software":
-            # Degraded interval: same daemon, software primitives.  The
-            # engine is idle, so the work occupies a core like ksmd does.
-            interval = self.pf_driver.scan_pages(
-                self.machine.ksm.pages_to_scan, now=now
-            )
-            self.pf_governor.observe(*self.pf_driver.fault_observations())
-            cpu_cycles = self._degraded_chunk_cycles(interval, now)
-            core_id = self.scheduler.next_core()
-            self._enqueue(core_id, ("os", cpu_cycles))
-            self.events.schedule_in(
-                cpu_cycles / self.freq + sleep_s, self._pf_wake
-            )
-            return
-        refills_before = self.pf_driver.strategy.table_refills
-        self.pf_driver.scan_pages(
-            self.machine.ksm.pages_to_scan, now=now
-        )
-        if self.pf_governor is not None:
-            self.pf_governor.observe(*self.pf_driver.fault_observations())
-        hw_cycles = self.pf_driver.drain_engine_cycles()
-        refills = self.pf_driver.strategy.table_refills - refills_before
-        hw_s = hw_cycles / self.freq
-        # The OS periodically polls get_PFE_info and refills the table —
-        # the only CPU work PageForge requires (Table 5: every 12k cycles).
-        n_checks = int(hw_cycles // self.scale.os_check_cycles) + 1
-        os_cycles = (
-            n_checks * self.scale.os_check_cost_cycles
-            + refills * self.scale.os_refill_cost_cycles
-        )
-        core_id = self.scheduler.next_core()
-        self._enqueue(core_id, ("os", os_cycles))
-        self.events.schedule_in(hw_s + sleep_s, self._pf_wake)
-
-    def _degraded_chunk_cycles(self, interval, now):
-        """CPU cycles of one software-fallback interval.
-
-        Mirrors ``_run_ksm_chunk``'s cost formula, with memory stalls
-        estimated in bulk (miss fraction floored at full-scale, as the
-        cache-model sink does) instead of measured — the fallback daemon
-        has no cache sink wired.
+        The single chunk-scheduling path every merge backend uses
+        (formerly duplicated across ``_ksm_wake`` and ``_pf_wake``).
+        With ``occupy_ksm_core`` the chosen core becomes the ksmd host
+        *before* the chunk can start — the cache-cost sink streams lines
+        through that core's hierarchy mid-chunk.
         """
-        compare_cpu = (
-            interval.bytes_compared * 2 + interval.merge_verify_bytes * 2
-        ) / 6.0
-        hash_cpu = float(interval.checksum_bytes) * 3.0
-        other_cpu = interval.pages_scanned * 20_000.0 + 2000.0
-        lines = (
-            2 * interval.bytes_compared + interval.checksum_bytes
-        ) // 64
-        miss_cost = (
-            self.scale.core_memory_overhead_cycles
-            + self.scale.dram_latency_cycles
-        )
-        stalls = lines * self.scale.scan_miss_floor * miss_cost
-        dram_bytes = int(lines * 64 * self.scale.scan_miss_floor)
-        if dram_bytes:
-            self.dram.stats.bytes_by_source["ksm"] += dram_bytes
-            self.dram.bandwidth.record(self._mem_now, dram_bytes, "ksm")
-        self.add_pollution(lines * 64, now)
-        self.ksm_timing.compare_cycles += compare_cpu
-        self.ksm_timing.hash_cycles += hash_cpu
-        self.ksm_timing.other_cycles += other_cpu + stalls
-        self.ksm_timing.intervals += 1
-        return int(compare_cpu + hash_cpu + other_cpu + stalls)
+        core_id = self.scheduler.next_core()
+        if occupy_ksm_core:
+            self.ksm_core = core_id
+        self.load.enqueue_chunk(core_id, duration_fn, on_done)
+        return core_id
 
     # Run ----------------------------------------------------------------------------------
 
     def run(self, events=None):
         """Run warmup + measurement; returns the latency collector."""
-        from repro.sim.engine import EventQueue
-
         self.events = events or EventQueue()
         self._horizon = self.scale.horizon_s()
-        for vm_index in range(len(self.vms)):
-            first = self.arrivals[vm_index].next_arrival()
-            if first <= self._horizon:
-                self.events.schedule(first, self._query_arrival, vm_index)
-        if self.mode == "ksm":
-            self.events.schedule(0.001, self._ksm_wake)
-        elif self.mode == "pageforge":
-            self.events.schedule(0.001, self._pf_wake)
+        self.load.start(self.events, self._horizon)
+        self.backend.start(self.events)
         self.events.run_until(self._horizon)
-        self.collector.drop_warmup(self.scale.warmup_s)
-        return self.collector
+        self.load.collector.drop_warmup(self.scale.warmup_s)
+        return self.load.collector
 
     # Measurement helpers ---------------------------------------------------------------------
 
@@ -695,9 +387,7 @@ class ServerSystem:
 
     def l3_miss_rate(self):
         """Average app-visible L3 local miss rate over the run."""
-        if self._miss_count == 0:
-            return self.app.l3_miss_rate_baseline
-        return self._miss_sum / self._miss_count
+        return self.memmodel.measured_miss_rate()
 
     def bandwidth_peak(self):
         """(peak GB/s, per-source breakdown, start) of the busiest window."""

@@ -20,7 +20,7 @@ Pass criteria (:meth:`DifferentialResult.ok`):
 """
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict
 
 from repro.common.config import KSMConfig, TAILBENCH_APPS
 from repro.common.rng import DeterministicRNG

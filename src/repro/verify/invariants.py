@@ -466,9 +466,14 @@ class InvariantAuditor:
         return self
 
     def attach_system(self, system):
-        """Wire into a :class:`~repro.sim.system.ServerSystem`: audits
-        whichever merging backend the mode built (and the hypervisor in
-        every mode)."""
+        """Wire into a :class:`~repro.sim.system.ServerSystem`: the
+        system's merge backend decides which components to audit (and
+        every backend wires at least the hypervisor)."""
+        backend = getattr(system, "backend", None)
+        if backend is not None:
+            backend.attach_auditor(self)
+            return self
+        # Legacy wiring for bare objects that expose the old attributes.
         if getattr(system, "ksm", None) is not None:
             self.attach_daemon(system.ksm)
         elif getattr(system, "pf_driver", None) is not None:

@@ -21,7 +21,7 @@ set (pages sharing a physical frame) against that partition:
 """
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from repro.ksm.compare import compare_pages
 

@@ -11,9 +11,8 @@ Responsibilities mirror Section 2's description of KVM-style merging:
 """
 
 from collections import defaultdict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
-import numpy as np
 
 from repro.common.units import PAGE_BYTES
 from repro.mem.physmem import PhysicalMemory

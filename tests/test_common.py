@@ -21,7 +21,7 @@ from repro.common import (
     set_bit,
 )
 from repro.common import test_bit as check_bit
-from repro.common.config import CacheConfig, MachineConfig
+from repro.common.config import CacheConfig
 
 
 class TestUnits:

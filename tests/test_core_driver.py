@@ -6,7 +6,6 @@ import pytest
 from repro.common.config import KSMConfig, PageForgeConfig
 from repro.common.units import PAGE_BYTES
 from repro.core import PageForgeMergeDriver, ecc_hash_key
-from repro.core.driver import PageForgeTreeStrategy
 from repro.ksm import ContentRBTree, RBNode
 from repro.ksm.daemon import StaleNodeError
 from repro.mem import MemoryController, PhysicalMemory

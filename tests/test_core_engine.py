@@ -1,11 +1,10 @@
 """Tests for the PageForge comparator engine and the OS drivers."""
 
 import numpy as np
-import pytest
 
 from repro.cache import SetAssocCache, SnoopBus
 from repro.cache.mesi import MESIState
-from repro.common.config import KSMConfig, PageForgeConfig, ProcessorConfig
+from repro.common.config import KSMConfig, ProcessorConfig
 from repro.common.units import PAGE_BYTES
 from repro.core import (
     ArbitrarySetStrategy,

@@ -1,6 +1,5 @@
 """Tests for the multi-module PageForge coordinator (Section 4.1)."""
 
-import numpy as np
 import pytest
 
 from repro.common.config import KSMConfig

@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.common.units import PAGE_BYTES
 from repro.core import (
     INVALID_INDEX,
     PageForgeAPI,
@@ -16,7 +15,7 @@ from repro.core import (
 )
 from repro.core.hashkey import ECCHashKeyGenerator, minikey_from_ecc, validate_offsets
 from repro.ecc.hamming import encode_page
-from repro.mem import MemoryController, PhysicalMemory
+from repro.mem import MemoryController
 
 
 class TestScanTable:

@@ -11,7 +11,6 @@ pages (false positives of the filter) are allowed; they are counted and
 must stay a small minority for mutations the key window can see.
 """
 
-import numpy as np
 from hypothesis import given, settings, strategies as st
 
 from repro.common.rng import DeterministicRNG

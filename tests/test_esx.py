@@ -5,11 +5,7 @@ import pytest
 
 from repro.common.units import PAGE_BYTES
 from repro.core import PageForgeAPI, PageForgeEngine
-from repro.ksm.esx import (
-    ESXStyleMerger,
-    PageForgeESXBackend,
-    SoftwareESXBackend,
-)
+from repro.ksm.esx import ESXStyleMerger, PageForgeESXBackend
 from repro.mem import MemoryController, PhysicalMemory
 from repro.virt import Hypervisor
 

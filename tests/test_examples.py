@@ -35,7 +35,6 @@ def test_latency_study_importable():
     """The latency example's main() is exercised at tiny scale."""
     sys.path.insert(0, "examples")
     try:
-        import latency_study
 
         # Patch in a tiny scale by calling through the module's pieces.
         from repro.sim import SimulationScale, run_latency_experiment

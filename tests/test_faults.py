@@ -11,6 +11,7 @@ import numpy as np
 import pytest
 
 from repro.common.config import KSMConfig, ResilienceConfig
+from repro.common.units import PAGE_BYTES
 from repro.core.driver import PageForgeMergeDriver
 from repro.core.engine import PageForgeEngine
 from repro.core.scan_table import (
@@ -19,7 +20,6 @@ from repro.core.scan_table import (
     miss_sentinel,
     pointer_sane,
 )
-from repro.common.units import PAGE_BYTES
 from repro.ecc.hamming import encode_line
 from repro.faults import (
     DegradationGovernor,
@@ -30,7 +30,6 @@ from repro.faults import (
 from repro.mem import MemoryController
 from repro.mem.controller import RequestDropped, UncorrectableLineError
 from repro.mem.requests import AccessSource
-from repro.virt import Hypervisor
 
 
 def _engine_with_pages(memory, rng, n_pages):

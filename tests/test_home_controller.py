@@ -1,0 +1,115 @@
+"""Tests for PageForge module placement across memory controllers.
+
+Section 4.1 places one PageForge module in one (home) memory
+controller; ``home_controller_for`` is the single place that choice is
+made, and ``MultiPageForge`` is the evaluated alternative of one module
+per controller.  These tests pin the placement logic and its wiring
+through the timed system's backend.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.common.config import (
+    KSMConfig,
+    PageForgeConfig,
+    TAILBENCH_APPS,
+    default_machine_config,
+)
+from repro.common.units import PAGE_BYTES
+from repro.core.multi import MultiPageForge
+from repro.mem import MemoryController, PhysicalMemory
+from repro.mem.controller import home_controller_for
+from repro.sim import ServerSystem, SimulationScale
+from repro.virt import Hypervisor
+
+TINY = SimulationScale(
+    pages_per_vm=100, n_vms=2, duration_s=0.08, warmup_s=0.08,
+)
+
+APP = TAILBENCH_APPS["moses"]
+
+
+def make_controllers(memory, n):
+    return [MemoryController(i, memory, verify_ecc=False) for i in range(n)]
+
+
+class TestHomeControllerFor:
+    def test_default_home_is_controller_zero(self, memory):
+        controllers = make_controllers(memory, 2)
+        home = home_controller_for(controllers, PageForgeConfig())
+        assert home is controllers[0]
+
+    @pytest.mark.parametrize("index", [0, 1, 3])
+    def test_home_follows_config(self, memory, index):
+        controllers = make_controllers(memory, 4)
+        config = PageForgeConfig(home_memory_controller=index)
+        assert home_controller_for(controllers, config) \
+            is controllers[index]
+
+    def test_out_of_range_home_raises(self, memory):
+        controllers = make_controllers(memory, 2)
+        config = PageForgeConfig(home_memory_controller=5)
+        with pytest.raises(IndexError):
+            home_controller_for(controllers, config)
+
+
+class TestSystemPlacement:
+    def test_backend_engine_sits_at_configured_home(self):
+        base = default_machine_config()
+        machine = dataclasses.replace(
+            base,
+            pageforge=dataclasses.replace(
+                base.pageforge, home_memory_controller=1,
+            ),
+        )
+        system = ServerSystem(
+            APP, mode="pageforge", machine=machine, scale=TINY, seed=3,
+        )
+        engine_controller = system.pf_driver.engine.controller
+        assert engine_controller is system.controllers[1]
+        assert engine_controller.index == 1
+
+    def test_default_placement_and_traffic_at_home(self):
+        system = ServerSystem(APP, mode="pageforge", scale=TINY, seed=3)
+        home = system.pf_driver.engine.controller
+        assert home is system.controllers[0]
+        system.run()
+        # The engine's scans move lines through its home controller.
+        assert home.stats.total_reads > 0
+
+
+class TestMultiControllerPlacement:
+    def build_world(self, rng, n_vms=3, n_shared=6):
+        memory = PhysicalMemory(128 << 20)
+        hypervisor = Hypervisor(physical_memory=memory)
+        shared = [rng.bytes_array(PAGE_BYTES) for _ in range(n_shared)]
+        for i in range(n_vms):
+            vm = hypervisor.create_vm(f"vm{i}")
+            for gpn, content in enumerate(shared):
+                hypervisor.populate_page(vm, gpn, content, mergeable=True)
+        return memory, hypervisor
+
+    def test_one_engine_per_controller(self, rng):
+        memory, hypervisor = self.build_world(rng)
+        controllers = make_controllers(memory, 3)
+        multi = MultiPageForge(
+            hypervisor, controllers,
+            ksm_config=KSMConfig(pages_to_scan=500),
+        )
+        assert multi.n_modules == 3
+        for engine, controller in zip(multi.engines, controllers):
+            assert engine.controller is controller
+
+    def test_scanning_touches_every_controller(self, rng):
+        memory, hypervisor = self.build_world(rng, n_vms=4, n_shared=8)
+        controllers = make_controllers(memory, 2)
+        multi = MultiPageForge(
+            hypervisor, controllers,
+            ksm_config=KSMConfig(pages_to_scan=500),
+        )
+        multi.run_to_steady_state()
+        stats = multi.stats()
+        assert all(c > 0 for c in stats.per_module_comparisons)
+        hypervisor.verify_consistency()

@@ -1,12 +1,10 @@
 """Tests for the KSM daemon (Algorithm 1)."""
 
 import numpy as np
-import pytest
 
 from repro.common.config import KSMConfig
 from repro.common.units import PAGE_BYTES
 from repro.ksm import KSMDaemon
-from repro.virt import Hypervisor
 
 
 def build_workload(hypervisor, rng, n_vms=3, shared=4, unique=3, zeros=2):

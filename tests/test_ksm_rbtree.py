@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.ksm.rbtree import BLACK, ContentRBTree, RBNode
+from repro.ksm.rbtree import ContentRBTree, RBNode
 
 
 def _node(value, width=8):

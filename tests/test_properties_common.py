@@ -10,10 +10,6 @@ from hypothesis import given, strategies as st
 
 from repro.common import bitops
 from repro.common.bitops import bit_count, extract_bits, parity, set_bit
-
-# Imported under a non-collectable name: pytest would otherwise treat
-# ``test_bit`` itself as a test function.
-check_bit = bitops.test_bit
 from repro.common.units import (
     CACHE_LINE_BYTES,
     GIB,
@@ -24,6 +20,10 @@ from repro.common.units import (
     gbps,
     seconds_to_cycles,
 )
+
+# Imported under a non-collectable name: pytest would otherwise treat
+# ``test_bit`` itself as a test function.
+check_bit = bitops.test_bit
 
 nonneg = st.integers(min_value=0, max_value=(1 << 72) - 1)
 bit_index = st.integers(min_value=0, max_value=71)

@@ -1,7 +1,6 @@
 """Checkpointing, journaling, and crash-equivalent recovery."""
 
 import json
-import os
 
 import numpy as np
 import pytest

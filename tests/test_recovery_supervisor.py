@@ -10,6 +10,7 @@ import json
 import os
 import subprocess
 import sys
+from pathlib import Path
 
 import pytest
 
@@ -20,8 +21,6 @@ from repro.recovery.supervisor import CRASH_EXIT_CODE
 pytestmark = pytest.mark.slow
 
 #: Repo root (tests/ lives directly under it).
-from pathlib import Path
-
 ROOT = Path(__file__).resolve().parents[1]
 
 

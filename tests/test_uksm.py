@@ -1,7 +1,5 @@
 """Tests for the UKSM variant (Section 7.2)."""
 
-import numpy as np
-import pytest
 
 from repro.common.units import PAGE_BYTES
 from repro.ksm.uksm import UKSMConfig, UKSMDaemon, sample_hash

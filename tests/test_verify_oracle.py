@@ -1,6 +1,5 @@
 """Tests for the full-compare oracle and the differential harness."""
 
-import numpy as np
 import pytest
 
 from repro.common.rng import DeterministicRNG

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.common.units import PAGE_BYTES
-from repro.virt import Hypervisor, MergeRollback
+from repro.virt import MergeRollback
 from repro.virt.vm import VirtualMachine
 
 

@@ -6,7 +6,6 @@ import pytest
 from repro.common.config import KSMConfig
 from repro.common.units import PAGE_BYTES
 from repro.ksm import KSMDaemon
-from repro.virt import Hypervisor
 
 
 def populate(hyp, rng, n_vms=3, shared=2, unique=2):

@@ -3,13 +3,11 @@
 import numpy as np
 import pytest
 
-from repro.common.config import TAILBENCH_APPS
+from repro.common.config import KSMConfig, TAILBENCH_APPS
 from repro.common.rng import DeterministicRNG
-from repro.common.units import PAGE_BYTES
 from repro.ksm import KSMDaemon
-from repro.common.config import KSMConfig
-from repro.virt import Hypervisor
 from repro.mem import PhysicalMemory
+from repro.virt import Hypervisor
 from repro.workloads import (
     ArrivalProcess,
     LatencyCollector,
