@@ -13,6 +13,7 @@ compare and hash to get there — the work profile PageForge accelerates.
 
 import pytest
 
+from benchmarks.conftest import run_once
 from repro.common.config import KSMConfig
 from repro.common.rng import DeterministicRNG
 from repro.ksm import ESXStyleMerger, KSMDaemon, UKSMDaemon
@@ -67,7 +68,7 @@ def runs():
 
 
 def test_ablation_algorithm_work_profiles(benchmark, runs):
-    benchmark.pedantic(_run, args=("esx",), rounds=1, iterations=1)
+    run_once(benchmark, _run, "esx")
     print("\nAblation: merging-algorithm families (identical images)")
     print(f"{'algorithm':>10s} {'footprint':>10s} {'comparisons':>12s} "
           f"{'MB compared':>12s} {'hashes':>8s}")
@@ -82,7 +83,7 @@ def test_ablation_all_algorithms_agree_on_footprint(benchmark, runs):
         footprints = {row["footprint"] for row in runs.values()}
         assert len(footprints) == 1, runs
 
-    benchmark.pedantic(check, rounds=1, iterations=1)
+    run_once(benchmark, check)
 
 
 def test_ablation_esx_compares_least(benchmark, runs):
@@ -91,7 +92,7 @@ def test_ablation_esx_compares_least(benchmark, runs):
         assert runs["esx"]["comparisons"] < runs["ksm"]["comparisons"]
         assert runs["esx"]["comparisons"] < runs["uksm"]["comparisons"]
 
-    benchmark.pedantic(check, rounds=1, iterations=1)
+    run_once(benchmark, check)
 
 
 def test_ablation_cache_bypass_alternative(benchmark):
@@ -130,4 +131,4 @@ def test_ablation_cache_bypass_alternative(benchmark):
         assert bypass_lines == 0  # no pollution...
         assert bypass_stalls >= alloc_stalls  # ...but no cheaper either
 
-    benchmark.pedantic(check, rounds=1, iterations=1)
+    run_once(benchmark, check)

@@ -13,6 +13,7 @@
 
 import pytest
 
+from benchmarks.conftest import run_once
 from repro.common.config import KSMConfig
 from repro.common.rng import DeterministicRNG
 from repro.core.driver import PageForgeMergeDriver
@@ -45,7 +46,7 @@ def merged_driver():
 def test_ablation_module_count_throughput(benchmark):
     """N modules scan N candidates concurrently: per-candidate latency
     is unchanged, aggregate scan rate scales, memory pressure scales."""
-    driver = benchmark.pedantic(_merge_run, rounds=1, iterations=1)
+    driver = run_once(benchmark, _merge_run)
     per_table = driver.hw_stats.mean_table_cycles
     bytes_per_table = (
         driver.hw_stats.lines_fetched * 64
@@ -75,7 +76,7 @@ def test_ablation_placement_traffic(benchmark, merged_driver):
         # placement eliminates essentially all interconnect traffic.
         assert mc_side_crossings <= 0.1 * interconnect_side
 
-    benchmark.pedantic(check, rounds=1, iterations=1)
+    run_once(benchmark, check)
 
 def test_ablation_inorder_core_power(benchmark, merged_driver):
     def check():
@@ -92,7 +93,7 @@ def test_ablation_inorder_core_power(benchmark, merged_driver):
         print(f"power ratio      : {ratio:.1f}x")
         assert ratio >= 5.0
 
-    benchmark.pedantic(check, rounds=1, iterations=1)
+    run_once(benchmark, check)
 
 def test_ablation_sampled_timing_agrees_with_exact(benchmark):
     def check():
@@ -106,4 +107,4 @@ def test_ablation_sampled_timing_agrees_with_exact(benchmark):
             == sampled.daemon.hypervisor.footprint_pages()
         )
 
-    benchmark.pedantic(check, rounds=1, iterations=1)
+    run_once(benchmark, check)

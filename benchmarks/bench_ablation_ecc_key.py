@@ -10,6 +10,7 @@ fewer false-positive matches = fewer wasted unstable-tree searches).
 import numpy as np
 import pytest
 
+from benchmarks.conftest import run_once
 from repro.common.rng import DeterministicRNG
 from repro.common.units import PAGE_BYTES
 from repro.core.hashkey import ecc_hash_key
@@ -60,8 +61,7 @@ def sweep():
 
 
 def test_ablation_minikey_width(benchmark, sweep):
-    benchmark.pedantic(_false_positive_rate, kwargs=dict(n_pages=60),
-                       rounds=1, iterations=1)
+    run_once(benchmark, _false_positive_rate, n_pages=60)
     print("\nAblation: ECC minikey width vs dirty-burst size")
     print(f"{'bits':>5s} {'write B':>8s} {'ECC missed':>11s} "
           f"{'jhash missed':>13s}")
@@ -77,7 +77,7 @@ def test_ablation_ecc_misses_more_than_jhash(benchmark, sweep):
         for row in sweep:
             assert row["ecc_fp"] >= row["jhash_fp"] - 0.02, row
 
-    benchmark.pedantic(check, rounds=1, iterations=1)
+    run_once(benchmark, check)
 
 def test_ablation_coverage_is_geometric(benchmark, sweep):
     def check():
@@ -93,7 +93,7 @@ def test_ablation_coverage_is_geometric(benchmark, sweep):
         assert burst["ecc_fp"] <= single["ecc_fp"]
         assert burst["jhash_fp"] <= single["jhash_fp"]
 
-    benchmark.pedantic(check, rounds=1, iterations=1)
+    run_once(benchmark, check)
 
 def test_ablation_offsets_move_coverage(benchmark):
     def check():
@@ -107,4 +107,4 @@ def test_ablation_offsets_move_coverage(benchmark):
             np.roll(page, 0), (0, 17, 32, 48)
         ) or ecc_hash_key(page, (0, 17, 32, 48)) != default
 
-    benchmark.pedantic(check, rounds=1, iterations=1)
+    run_once(benchmark, check)

@@ -10,6 +10,7 @@ interference/responsiveness trade the paper's configuration (400 pages /
 
 import pytest
 
+from benchmarks.conftest import run_once
 from repro.common.config import KSMConfig
 from repro.common.rng import DeterministicRNG
 from repro.ksm import KSMDaemon
@@ -50,9 +51,7 @@ def sweep():
 
 
 def test_ablation_ksm_tuning(benchmark, sweep):
-    benchmark.pedantic(_converge_with_budget, args=(400,),
-                       kwargs=dict(pages_per_vm=80, n_vms=4),
-                       rounds=1, iterations=1)
+    run_once(benchmark, _converge_with_budget, 400, pages_per_vm=80, n_vms=4)
     print("\nAblation: KSM pages_to_scan budget")
     print(f"{'budget':>7s} {'intervals':>10s} {'peak bytes/interval':>20s}")
     for row in sweep:
@@ -65,14 +64,14 @@ def test_ablation_all_budgets_converge(benchmark, sweep):
         for row in sweep:
             assert row["footprint"] == row["target"], row
 
-    benchmark.pedantic(check, rounds=1, iterations=1)
+    run_once(benchmark, check)
 
 def test_ablation_bigger_budget_fewer_intervals(benchmark, sweep):
     def check():
         intervals = [row["intervals"] for row in sweep]
         assert intervals == sorted(intervals, reverse=True), intervals
 
-    benchmark.pedantic(check, rounds=1, iterations=1)
+    run_once(benchmark, check)
 
 def test_ablation_bigger_budget_heavier_intervals(benchmark, sweep):
     def check():
@@ -80,4 +79,4 @@ def test_ablation_bigger_budget_heavier_intervals(benchmark, sweep):
         weights = [row["max_interval_bytes"] for row in sweep]
         assert weights == sorted(weights), weights
 
-    benchmark.pedantic(check, rounds=1, iterations=1)
+    run_once(benchmark, check)

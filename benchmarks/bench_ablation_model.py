@@ -11,6 +11,7 @@ steal (directly simulated) remains.
 
 import pytest
 
+from benchmarks.conftest import run_once
 from repro.sim import SimulationScale, run_latency_experiment
 
 SMALL = dict(pages_per_vm=700, n_vms=10, duration_s=0.4, warmup_s=0.5)
@@ -44,7 +45,7 @@ def test_ablation_interference_channels(benchmark, channels):
             print(f"{name:>16s}: {overhead:.3f}x")
         assert channels["all-on"] >= channels["cpu-steal-only"]
 
-    benchmark.pedantic(check, rounds=1, iterations=1)
+    run_once(benchmark, check)
 
 
 def test_ablation_each_channel_contributes(benchmark, channels):
@@ -53,7 +54,7 @@ def test_ablation_each_channel_contributes(benchmark, channels):
         assert channels["no-pollution"] <= channels["all-on"] + 0.03
         assert channels["no-contention"] <= channels["all-on"] + 0.03
 
-    benchmark.pedantic(check, rounds=1, iterations=1)
+    run_once(benchmark, check)
 
 
 def test_ablation_cpu_steal_is_floor(benchmark, channels):
@@ -62,4 +63,4 @@ def test_ablation_cpu_steal_is_floor(benchmark, channels):
         daemon's core occupancy — and still clearly above 1.0."""
         assert channels["cpu-steal-only"] > 1.0
 
-    benchmark.pedantic(check, rounds=1, iterations=1)
+    run_once(benchmark, check)

@@ -9,6 +9,7 @@ against SRAM area.
 
 import pytest
 
+from benchmarks.conftest import run_once
 from repro.common.config import KSMConfig, PageForgeConfig
 from repro.common.rng import DeterministicRNG
 from repro.core.driver import PageForgeMergeDriver
@@ -48,8 +49,7 @@ def ablation():
 
 
 def test_ablation_scan_table_size(benchmark, ablation):
-    benchmark.pedantic(_run_with_capacity, args=(31,),
-                       rounds=1, iterations=1)
+    run_once(benchmark, _run_with_capacity, 31)
     print("\nAblation: Scan-Table capacity (Other Pages entries)")
     print(f"{'entries':>8s} {'refills':>8s} {'compares':>9s} "
           f"{'SRAM bytes':>10s} {'footprint':>10s}")
@@ -65,14 +65,14 @@ def test_ablation_savings_invariant_to_capacity(benchmark, ablation):
         footprints = {row["footprint"] for row in ablation}
         assert len(footprints) == 1, footprints
 
-    benchmark.pedantic(check, rounds=1, iterations=1)
+    run_once(benchmark, check)
 
 def test_ablation_bigger_table_fewer_refills(benchmark, ablation):
     def check():
         refills = [row["refills"] for row in ablation]
         assert refills == sorted(refills, reverse=True), refills
 
-    benchmark.pedantic(check, rounds=1, iterations=1)
+    run_once(benchmark, check)
 
 def test_ablation_comparisons_stable(benchmark, ablation):
     def check():
@@ -80,4 +80,4 @@ def test_ablation_comparisons_stable(benchmark, ablation):
         comparisons = [row["comparisons"] for row in ablation]
         assert max(comparisons) - min(comparisons) <= 0.2 * max(comparisons)
 
-    benchmark.pedantic(check, rounds=1, iterations=1)
+    run_once(benchmark, check)

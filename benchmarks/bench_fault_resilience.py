@@ -17,6 +17,7 @@ import os
 
 import pytest
 
+from benchmarks.conftest import run_once
 from repro.analysis import format_fault_campaign
 from repro.faults import FaultPlan, run_fault_campaign, run_fault_suite
 
@@ -65,7 +66,7 @@ def _echo_provenance(benchmark, results):
 
 
 def test_fault_campaign_summary(benchmark, suite):
-    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    run_once(benchmark, lambda: None)
     print()
     print(format_fault_campaign(suite))
     _echo_provenance(benchmark, suite.values())
@@ -81,7 +82,7 @@ def test_no_content_corruption_at_any_rate(benchmark, suite, sweep):
             assert result.content_violations == 0, rate
             assert result.consistency_violations == 0, rate
 
-    benchmark.pedantic(check, rounds=1, iterations=1)
+    run_once(benchmark, check)
     print("\nSavings vs per-line fault rate (PageForge, governor on):")
     print(f"{'rate':>8s} {'savings':>8s} {'retries':>8s} {'poisoned':>9s} "
           f"{'degraded':>9s}")
@@ -112,9 +113,7 @@ def test_degraded_savings_within_10pct_of_ksm(benchmark, suite, sweep):
             0.9 * suite["ksm"].savings_frac
         return pf.savings_frac, ksm_clean.savings_frac
 
-    pf_savings, ksm_savings = benchmark.pedantic(
-        check, rounds=1, iterations=1
-    )
+    pf_savings, ksm_savings = run_once(benchmark, check)
     print(f"\nPageForge @1e-3 faults: {pf_savings:.2%} saved; "
           f"fault-free KSM: {ksm_savings:.2%} "
           f"(ratio {pf_savings / ksm_savings:.1%})")
@@ -133,7 +132,7 @@ def test_campaign_fingerprint_reproducible(benchmark, suite):
         assert first.footprint_pages == second.footprint_pages
         return first.fingerprint
 
-    fingerprint = benchmark.pedantic(check, rounds=1, iterations=1)
+    fingerprint = run_once(benchmark, check)
     print(f"\ncampaign fingerprint (seed 0): {fingerprint}")
 
 
@@ -149,4 +148,4 @@ def test_faults_actually_fired(benchmark, suite):
         assert suite["pageforge"].batch_retries > 0
         assert suite["pageforge"].corrected_words > 0
 
-    benchmark.pedantic(check, rounds=1, iterations=1)
+    run_once(benchmark, check)

@@ -9,7 +9,7 @@ reaching *identical* savings.
 
 import pytest
 
-from benchmarks.conftest import APPS, FIG7_PAGES_PER_VM
+from benchmarks.conftest import APPS, FIG7_PAGES_PER_VM, run_once
 from repro.analysis import format_fig7_memory_savings
 from repro.sim import run_memory_savings
 
@@ -30,11 +30,9 @@ def savings_results():
 
 def test_fig7_regenerate(benchmark, savings_results):
     # Benchmark one representative steady-state merge run.
-    benchmark.pedantic(
-        run_memory_savings, args=("moses",),
-        kwargs=dict(pages_per_vm=FIG7_PAGES_PER_VM, n_vms=10,
-                    engine="pageforge"),
-        rounds=1, iterations=1,
+    run_once(
+        benchmark, run_memory_savings, "moses",
+        pages_per_vm=FIG7_PAGES_PER_VM, n_vms=10, engine="pageforge",
     )
     pf_results = [savings_results[app]["pageforge"] for app in APPS]
     print("\n" + format_fig7_memory_savings(pf_results))
@@ -54,7 +52,7 @@ def test_fig7_ksm_and_pageforge_identical(benchmark, savings_results):
             pf = savings_results[app]["pageforge"]
             assert ksm.pages_after == pf.pages_after, app
 
-    benchmark.pedantic(check, rounds=1, iterations=1)
+    run_once(benchmark, check)
 
 def test_fig7_zero_pages_collapse(benchmark, savings_results):
     def check():
@@ -63,7 +61,7 @@ def test_fig7_zero_pages_collapse(benchmark, savings_results):
             after = savings_results[app]["pageforge"].after_by_category
             assert after.get("zero", 0) == 1, app
 
-    benchmark.pedantic(check, rounds=1, iterations=1)
+    run_once(benchmark, check)
 
 def test_fig7_twice_as_many_vms(benchmark, savings_results):
     def check():
@@ -73,4 +71,4 @@ def test_fig7_twice_as_many_vms(benchmark, savings_results):
         supported = 1.0 / (1.0 - mean_savings)
         assert supported >= 1.7, supported
 
-    benchmark.pedantic(check, rounds=1, iterations=1)
+    run_once(benchmark, check)

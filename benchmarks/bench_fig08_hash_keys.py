@@ -11,7 +11,7 @@ averaging a few percent of comparisons (paper: 3.7%).
 import numpy as np
 import pytest
 
-from benchmarks.conftest import APPS, FIG8_PAGES_PER_VM, FIG8_VMS
+from benchmarks.conftest import APPS, FIG8_PAGES_PER_VM, FIG8_VMS, run_once
 from repro.analysis import format_fig8_hash_keys
 from repro.sim import run_hash_key_study
 
@@ -28,11 +28,9 @@ def hash_results():
 
 
 def test_fig8_regenerate(benchmark, hash_results):
-    benchmark.pedantic(
-        run_hash_key_study, args=("moses",),
-        kwargs=dict(pages_per_vm=FIG8_PAGES_PER_VM, n_vms=FIG8_VMS,
-                    n_passes=3),
-        rounds=1, iterations=1,
+    run_once(
+        benchmark, run_hash_key_study, "moses",
+        pages_per_vm=FIG8_PAGES_PER_VM, n_vms=FIG8_VMS, n_passes=3,
     )
     print("\n" + format_fig8_hash_keys(hash_results))
     for r in hash_results:
@@ -46,7 +44,7 @@ def test_fig8_ecc_keys_have_more_matches(benchmark, hash_results):
         for r in hash_results:
             assert r.ecc_match_frac >= r.jhash_match_frac, r.app_name
 
-    benchmark.pedantic(check, rounds=1, iterations=1)
+    run_once(benchmark, check)
 
 def test_fig8_extra_false_positives_in_paper_range(benchmark, hash_results):
     def check():
@@ -54,7 +52,7 @@ def test_fig8_extra_false_positives_in_paper_range(benchmark, hash_results):
         extra = np.mean([r.extra_ecc_false_positive_frac for r in hash_results])
         assert 0.005 <= extra <= 0.12, extra
 
-    benchmark.pedantic(check, rounds=1, iterations=1)
+    run_once(benchmark, check)
 
 def test_fig8_mismatch_never_false(benchmark, hash_results):
     def check():
@@ -66,4 +64,4 @@ def test_fig8_mismatch_never_false(benchmark, hash_results):
             assert r.jhash_false_positives <= r.jhash_matches
             assert r.ecc_false_positives <= r.ecc_matches
 
-    benchmark.pedantic(check, rounds=1, iterations=1)
+    run_once(benchmark, check)

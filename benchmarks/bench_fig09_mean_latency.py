@@ -6,16 +6,15 @@ reproduce: KSM's software scanning inflates the mean substantially
 (paper average 1.68x) while PageForge stays close to Baseline (1.10x).
 """
 
-from benchmarks.conftest import APPS, LATENCY_SCALE
+from benchmarks.conftest import APPS, LATENCY_SCALE, run_once
 from repro.analysis import format_fig9_mean_latency, geometric_mean
 from repro.sim import run_latency_experiment
 
 
 def test_fig9_regenerate(benchmark, latency_results):
-    benchmark.pedantic(
-        run_latency_experiment, args=("masstree",),
-        kwargs=dict(modes=("baseline",), scale=LATENCY_SCALE),
-        rounds=1, iterations=1,
+    run_once(
+        benchmark, run_latency_experiment, "masstree",
+        modes=("baseline",), scale=LATENCY_SCALE,
     )
     results = [latency_results[app] for app in APPS]
     print("\n" + format_fig9_mean_latency(results))
@@ -39,7 +38,7 @@ def test_fig9_ksm_slower_than_pageforge(benchmark, latency_results):
                 assert app == "sphinx" and ksm > pf - 0.08, (app, ksm, pf)
         assert worse >= len(APPS) - 1
 
-    benchmark.pedantic(check, rounds=1, iterations=1)
+    run_once(benchmark, check)
 
 def test_fig9_pageforge_near_baseline(benchmark, latency_results):
     def check():
@@ -47,7 +46,7 @@ def test_fig9_pageforge_near_baseline(benchmark, latency_results):
         norms = [latency_results[a].normalized_mean("pageforge") for a in APPS]
         assert geometric_mean(norms) <= 1.30, norms
 
-    benchmark.pedantic(check, rounds=1, iterations=1)
+    run_once(benchmark, check)
 
 def test_fig9_ksm_overhead_substantial(benchmark, latency_results):
     def check():
@@ -55,7 +54,7 @@ def test_fig9_ksm_overhead_substantial(benchmark, latency_results):
         norms = [latency_results[a].normalized_mean("ksm") for a in APPS]
         assert geometric_mean(norms) >= 1.25, norms
 
-    benchmark.pedantic(check, rounds=1, iterations=1)
+    run_once(benchmark, check)
 
 def test_fig9_sphinx_most_tolerant(benchmark, latency_results):
     def check():
@@ -64,4 +63,4 @@ def test_fig9_sphinx_most_tolerant(benchmark, latency_results):
         overheads = {a: latency_results[a].normalized_mean("ksm") for a in APPS}
         assert overheads["sphinx"] == min(overheads.values()), overheads
 
-    benchmark.pedantic(check, rounds=1, iterations=1)
+    run_once(benchmark, check)

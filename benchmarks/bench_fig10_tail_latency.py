@@ -5,16 +5,15 @@ mean (paper average 2.36x, with Silo above 5x), while PageForge's tail
 stays near Baseline (1.11x).
 """
 
-from benchmarks.conftest import APPS, LATENCY_SCALE
+from benchmarks.conftest import APPS, LATENCY_SCALE, run_once
 from repro.analysis import format_fig10_tail_latency, geometric_mean
 from repro.sim import run_latency_experiment
 
 
 def test_fig10_regenerate(benchmark, latency_results):
-    benchmark.pedantic(
-        run_latency_experiment, args=("silo",),
-        kwargs=dict(modes=("baseline",), scale=LATENCY_SCALE),
-        rounds=1, iterations=1,
+    run_once(
+        benchmark, run_latency_experiment, "silo",
+        modes=("baseline",), scale=LATENCY_SCALE,
     )
     results = [latency_results[app] for app in APPS]
     print("\n" + format_fig10_tail_latency(results))
@@ -31,21 +30,21 @@ def test_fig10_tail_exceeds_mean_for_ksm(benchmark, latency_results):
                 amplified += 1
         assert amplified >= 3, "tail should amplify for most apps"
 
-    benchmark.pedantic(check, rounds=1, iterations=1)
+    run_once(benchmark, check)
 
 def test_fig10_pageforge_tail_near_baseline(benchmark, latency_results):
     def check():
         norms = [latency_results[a].normalized_p95("pageforge") for a in APPS]
         assert geometric_mean(norms) <= 1.35, norms
 
-    benchmark.pedantic(check, rounds=1, iterations=1)
+    run_once(benchmark, check)
 
 def test_fig10_ksm_tail_overhead_large(benchmark, latency_results):
     def check():
         norms = [latency_results[a].normalized_p95("ksm") for a in APPS]
         assert geometric_mean(norms) >= 1.30, norms
 
-    benchmark.pedantic(check, rounds=1, iterations=1)
+    run_once(benchmark, check)
 
 def test_fig10_ksm_tail_worse_than_pageforge(benchmark, latency_results):
     def check():
@@ -61,4 +60,4 @@ def test_fig10_ksm_tail_worse_than_pageforge(benchmark, latency_results):
                 assert app == "sphinx" and ksm > pf - 0.08, (app, ksm, pf)
         assert worse >= len(APPS) - 1
 
-    benchmark.pedantic(check, rounds=1, iterations=1)
+    run_once(benchmark, check)

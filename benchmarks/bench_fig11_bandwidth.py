@@ -7,16 +7,15 @@ cores' and none of it is filtered by the cache hierarchy.
 """
 
 
-from benchmarks.conftest import APPS, LATENCY_SCALE
+from benchmarks.conftest import APPS, LATENCY_SCALE, run_once
 from repro.analysis import format_fig11_bandwidth
 from repro.sim import run_latency_experiment
 
 
 def test_fig11_regenerate(benchmark, latency_results):
-    benchmark.pedantic(
-        run_latency_experiment, args=("img-dnn",),
-        kwargs=dict(modes=("baseline",), scale=LATENCY_SCALE),
-        rounds=1, iterations=1,
+    run_once(
+        benchmark, run_latency_experiment, "img-dnn",
+        modes=("baseline",), scale=LATENCY_SCALE,
     )
     results = [latency_results[app] for app in APPS]
     print("\n" + format_fig11_bandwidth(results))
@@ -31,7 +30,7 @@ def test_fig11_merging_raises_bandwidth(benchmark, latency_results):
             assert s["ksm"].bandwidth_peak_gbps > base, app
             assert s["pageforge"].bandwidth_peak_gbps > base, app
 
-    benchmark.pedantic(check, rounds=1, iterations=1)
+    run_once(benchmark, check)
 
 def test_fig11_breakdown_attributes_sources(benchmark, latency_results):
     def check():
@@ -53,7 +52,7 @@ def test_fig11_breakdown_attributes_sources(benchmark, latency_results):
         assert ksm_attributed >= len(APPS) - 1, ksm_attributed
         assert pf_attributed >= len(APPS) - 1, pf_attributed
 
-    benchmark.pedantic(check, rounds=1, iterations=1)
+    run_once(benchmark, check)
 
 def test_fig11_bandwidth_stays_tolerable(benchmark, latency_results):
     def check():
@@ -64,4 +63,4 @@ def test_fig11_bandwidth_stays_tolerable(benchmark, latency_results):
                 bw = latency_results[app].summaries[mode].bandwidth_peak_gbps
                 assert bw <= 32.0, (app, mode, bw)
 
-    benchmark.pedantic(check, rounds=1, iterations=1)
+    run_once(benchmark, check)

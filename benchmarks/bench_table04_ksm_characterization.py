@@ -9,16 +9,15 @@ points over Baseline (33.8% -> 39.2%).
 
 import numpy as np
 
-from benchmarks.conftest import APPS, LATENCY_SCALE
+from benchmarks.conftest import APPS, LATENCY_SCALE, run_once
 from repro.analysis import format_table4_ksm_characterization
 from repro.sim import run_latency_experiment
 
 
 def test_table4_regenerate(benchmark, latency_results):
-    benchmark.pedantic(
-        run_latency_experiment, args=("moses",),
-        kwargs=dict(modes=("ksm",), scale=LATENCY_SCALE),
-        rounds=1, iterations=1,
+    run_once(
+        benchmark, run_latency_experiment, "moses",
+        modes=("ksm",), scale=LATENCY_SCALE,
     )
     results = [latency_results[app] for app in APPS]
     print("\n" + format_table4_ksm_characterization(results))
@@ -31,7 +30,7 @@ def test_table4_max_core_far_exceeds_average(benchmark, latency_results):
             ksm = latency_results[app].summaries["ksm"]
             assert ksm.kernel_share_max >= 2.0 * ksm.kernel_share_avg, app
 
-    benchmark.pedantic(check, rounds=1, iterations=1)
+    run_once(benchmark, check)
 
 def test_table4_compare_dominates_hash(benchmark, latency_results):
     def check():
@@ -42,7 +41,7 @@ def test_table4_compare_dominates_hash(benchmark, latency_results):
             assert ksm.ksm_compare_share >= 0.30, app
             assert 0.02 <= ksm.ksm_hash_share <= 0.40, app
 
-    benchmark.pedantic(check, rounds=1, iterations=1)
+    run_once(benchmark, check)
 
 def test_table4_l3_miss_rises_under_ksm(benchmark, latency_results):
     def check():
@@ -55,7 +54,7 @@ def test_table4_l3_miss_rises_under_ksm(benchmark, latency_results):
             deltas.append(delta)
         assert 0.01 <= np.mean(deltas) <= 0.15, deltas
 
-    benchmark.pedantic(check, rounds=1, iterations=1)
+    run_once(benchmark, check)
 
 def test_table4_pageforge_never_steals_cores(benchmark, latency_results):
     def check():
@@ -65,4 +64,4 @@ def test_table4_pageforge_never_steals_cores(benchmark, latency_results):
             ksm = latency_results[app].summaries["ksm"]
             assert pf.kernel_share_avg < 0.25 * ksm.kernel_share_avg, app
 
-    benchmark.pedantic(check, rounds=1, iterations=1)
+    run_once(benchmark, check)

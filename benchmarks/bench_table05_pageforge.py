@@ -10,17 +10,16 @@ even a small in-order core.
 
 import numpy as np
 
-from benchmarks.conftest import APPS, LATENCY_SCALE
+from benchmarks.conftest import APPS, LATENCY_SCALE, run_once
 from repro.analysis import format_table5_pageforge
 from repro.core.power import PageForgePowerModel
 from repro.sim import run_latency_experiment
 
 
 def test_table5_regenerate(benchmark, latency_results):
-    benchmark.pedantic(
-        run_latency_experiment, args=("sphinx",),
-        kwargs=dict(modes=("pageforge",), scale=LATENCY_SCALE),
-        rounds=1, iterations=1,
+    run_once(
+        benchmark, run_latency_experiment, "sphinx",
+        modes=("pageforge",), scale=LATENCY_SCALE,
     )
     results = [latency_results[app] for app in APPS]
     print("\n" + format_table5_pageforge(results, PageForgePowerModel()))
@@ -35,7 +34,7 @@ def test_table5_scan_cycles_in_range(benchmark, latency_results):
         ]
         assert 500 <= np.mean(cycles) <= 40_000, cycles
 
-    benchmark.pedantic(check, rounds=1, iterations=1)
+    run_once(benchmark, check)
 
 def test_table5_area_matches_paper(benchmark, latency_results):
     def check():
@@ -45,7 +44,7 @@ def test_table5_area_matches_paper(benchmark, latency_results):
             scan.area_mm2, 0.010, atol=0.004) or True
         assert abs(total.area_mm2 - 0.029) < 0.01
 
-    benchmark.pedantic(check, rounds=1, iterations=1)
+    run_once(benchmark, check)
 
 def test_table5_power_negligible(benchmark):
     def check():
@@ -57,7 +56,7 @@ def test_table5_power_negligible(benchmark):
         assert total.area_mm2 < server.area_mm2 / 1000
         assert total.power_w < server.power_w / 1000
 
-    benchmark.pedantic(check, rounds=1, iterations=1)
+    run_once(benchmark, check)
 
 def test_table5_os_check_period(benchmark):
     def check():
@@ -65,4 +64,4 @@ def test_table5_os_check_period(benchmark):
 
         assert SimulationScale().os_check_cycles == 12_000
 
-    benchmark.pedantic(check, rounds=1, iterations=1)
+    run_once(benchmark, check)

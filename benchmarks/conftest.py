@@ -47,3 +47,17 @@ def latency_results():
     for app in APPS:
         results[app] = run_latency_experiment(app, scale=LATENCY_SCALE)
     return results
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under pytest-benchmark timing.
+
+    Every bench here regenerates a figure or checks a shape against a
+    session-cached simulation — statistical rounds/iterations sweeps
+    would re-run multi-second experiments for no extra information, so
+    the whole harness standardises on a single timed call.  Returns
+    ``fn``'s result, like ``benchmark.pedantic``.
+    """
+    return benchmark.pedantic(
+        fn, args=args, kwargs=kwargs, rounds=1, iterations=1
+    )

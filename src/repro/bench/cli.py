@@ -1,0 +1,111 @@
+"""``repro bench`` argument wiring and command body.
+
+Kept separate from :mod:`repro.cli` so the top-level CLI only pays for
+the argparse setup; suites (and their numpy working sets) load when the
+command actually runs.
+"""
+
+import sys
+
+
+def add_bench_parser(sub):
+    """Attach the ``bench`` subcommand to the top-level subparsers."""
+    p = sub.add_parser(
+        "bench",
+        help="performance baselines: time hot paths, emit/compare "
+             "BENCH_*.json",
+    )
+    p.add_argument("--quick", action="store_true",
+                   help="CI smoke tier: smaller working sets, shorter "
+                        "measurement windows")
+    p.add_argument("--only", action="append", metavar="SUITE",
+                   help="run only the named suite (repeatable)")
+    p.add_argument("--out", metavar="PATH",
+                   help="write the report here (default: "
+                        "BENCH_<timestamp>.json; with --compare, a file "
+                        "is only written when --out is given)")
+    p.add_argument("--compare", metavar="BASELINE",
+                   help="diff this run against a baseline report; exits "
+                        "1 if any gated metric regresses past the "
+                        "tolerance")
+    p.add_argument("--tolerance", type=float, default=None,
+                   help="allowed fractional regression for gated metrics "
+                        "(default 0.30)")
+    p.add_argument("--all-metrics", action="store_true",
+                   help="apply verdicts to ungated (absolute) metrics too")
+    p.add_argument("--list", action="store_true",
+                   help="list available suites and exit")
+    p.set_defaults(func=cmd_bench)
+
+
+def cmd_bench(args):
+    from repro.bench.compare import (
+        DEFAULT_TOLERANCE,
+        compare_reports,
+        format_comparison,
+        load_report,
+    )
+    from repro.bench.harness import (
+        build_report,
+        default_report_path,
+        format_report,
+        write_report,
+    )
+    from repro.bench.suites import SUITES, run_suites
+
+    if args.list:
+        for name, fn in SUITES.items():
+            summary = (fn.__doc__ or "").strip().splitlines()[0]
+            print(f"{name:<20} {summary}")
+        return 0
+
+    names = list(SUITES)
+    if args.only:
+        unknown = [n for n in args.only if n not in SUITES]
+        if unknown:
+            print(
+                f"error: unknown suite(s) {', '.join(unknown)}; "
+                f"available: {', '.join(SUITES)}",
+                file=sys.stderr,
+            )
+            return 2
+        names = [n for n in names if n in args.only]
+
+    baseline = None
+    if args.compare:
+        # Load (and schema-check) before spending minutes measuring.
+        baseline = load_report(args.compare)
+
+    tier = "quick" if args.quick else "full"
+    print(f"running {len(names)} suite(s) [{tier}] ...", file=sys.stderr)
+    metrics = run_suites(names, quick=args.quick)
+    report = build_report(metrics, tier, names)
+    print(format_report(report))
+
+    out = args.out
+    if out is None and baseline is None:
+        out = default_report_path()
+    if out:
+        write_report(report, out)
+        print(f"wrote {out}")
+
+    if baseline is not None:
+        if args.only:
+            # Diff only the suites that actually ran; a subset run
+            # against a full baseline is not a regression.
+            prefixes = tuple(f"{name}." for name in names)
+            baseline = dict(
+                baseline,
+                metrics={k: v for k, v in baseline["metrics"].items()
+                         if k.startswith(prefixes)},
+            )
+        tolerance = (DEFAULT_TOLERANCE if args.tolerance is None
+                     else args.tolerance)
+        rows, failed = compare_reports(
+            baseline, report, tolerance=tolerance,
+            gated_only=not args.all_metrics,
+        )
+        print()
+        print(format_comparison(rows, tolerance))
+        return 1 if failed else 0
+    return 0

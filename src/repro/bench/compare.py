@@ -1,0 +1,105 @@
+"""Baseline comparison: per-metric tolerance verdicts.
+
+``repro bench --compare BASELINE.json`` re-measures and diffs against a
+committed snapshot.  Verdicts are only issued for *gated* metrics (the
+machine-independent speedup ratios); everything else is reported as an
+informational delta, because absolute nanoseconds on a CI runner say
+nothing about a regression relative to a baseline taken elsewhere.
+"""
+
+import json
+from pathlib import Path
+
+from repro.bench.harness import SCHEMA_VERSION
+
+#: A gated metric may regress by this fraction before the gate fails.
+DEFAULT_TOLERANCE = 0.30
+
+
+class ComparisonRow:
+    __slots__ = ("name", "baseline", "current", "regression", "verdict",
+                 "unit")
+
+    def __init__(self, name, baseline, current, regression, verdict, unit):
+        self.name = name
+        self.baseline = baseline
+        self.current = current
+        self.regression = regression
+        self.verdict = verdict
+        self.unit = unit
+
+
+def load_report(path):
+    report = json.loads(Path(path).read_text())
+    version = report.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise ValueError(
+            f"{path}: schema_version {version!r} != {SCHEMA_VERSION} "
+            "(regenerate the baseline with the current harness)"
+        )
+    return report
+
+
+def _regression(baseline, current, higher_is_better):
+    """Fractional change in the *bad* direction (negative = improved)."""
+    if baseline == 0:
+        return 0.0
+    delta = (baseline - current) if higher_is_better else (current - baseline)
+    return delta / abs(baseline)
+
+
+def compare_reports(baseline, current, tolerance=DEFAULT_TOLERANCE,
+                    gated_only=True):
+    """Diff two reports; returns (rows, failed).
+
+    ``failed`` is True if any gated metric regressed beyond
+    ``tolerance`` or disappeared from the current run.  With
+    ``gated_only=False``, ungated metrics also receive verdicts.
+    """
+    rows = []
+    failed = False
+    base_metrics = baseline["metrics"]
+    cur_metrics = current["metrics"]
+    for name in sorted(base_metrics):
+        base = base_metrics[name]
+        gated = base.get("gate", False)
+        cur = cur_metrics.get(name)
+        if cur is None:
+            verdict = "MISSING" if (gated or not gated_only) else "info"
+            failed |= verdict == "MISSING"
+            rows.append(ComparisonRow(name, base["value"], None, None,
+                                      verdict, base["unit"]))
+            continue
+        regression = _regression(
+            base["value"], cur["value"], base.get("higher_is_better", True)
+        )
+        if gated or not gated_only:
+            verdict = "FAIL" if regression > tolerance else "PASS"
+            failed |= verdict == "FAIL"
+        else:
+            verdict = "info"
+        rows.append(ComparisonRow(name, base["value"], cur["value"],
+                                  regression, verdict, base["unit"]))
+    return rows, failed
+
+
+def format_comparison(rows, tolerance=DEFAULT_TOLERANCE):
+    header = (f"{'metric':<44} {'baseline':>14} {'current':>14} "
+              f"{'change':>8}  verdict")
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        cur = f"{row.current:>14,.1f}" if row.current is not None else (
+            " " * 9 + "—    ")
+        change = (f"{-100 * row.regression:>+7.1f}%"
+                  if row.regression is not None else " " * 8)
+        lines.append(
+            f"{row.name:<44} {row.baseline:>14,.1f} {cur} {change}  "
+            f"{row.verdict}"
+        )
+    gated = [r for r in rows if r.verdict in ("PASS", "FAIL", "MISSING")]
+    n_bad = sum(1 for r in gated if r.verdict != "PASS")
+    lines.append(
+        f"{len(gated)} gated metric(s), {n_bad} failing "
+        f"(tolerance {tolerance:.0%}; 'change' is + for improvement)"
+    )
+    return "\n".join(lines)

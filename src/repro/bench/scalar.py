@@ -1,0 +1,79 @@
+"""The pre-vectorization reference daemon, kept runnable for A/B timing.
+
+``ScalarKSMDaemon`` wires :class:`~repro.ksm.daemon.KSMDaemon` back to
+the scalar per-page operations the repository shipped before the hot
+paths were vectorized:
+
+* tree ordering via :func:`~repro.ksm.compare.compare_pages_scalar`
+  (chunked numpy array comparison, no pair memo);
+* node keys returning ``frame.data`` numpy views (no cached ``bytes``);
+* checksums via :func:`~repro.ksm.jhash.page_checksum` on ``frame.data``
+  (per-call window copy; no frame-resident memo, no batch priming).
+
+It produces bit-identical merge decisions — same trees, same merges,
+same stats — at the old per-operation costs, so the bench harness can
+report an in-run, machine-independent speedup ratio instead of
+comparing nanoseconds across hosts.
+"""
+
+from repro.ksm.compare import compare_pages_scalar
+from repro.ksm.daemon import KSMDaemon, StaleNodeError
+from repro.ksm.jhash import page_checksum
+from repro.ksm.rbtree import ContentRBTree
+
+
+class ScalarKSMDaemon(KSMDaemon):
+    """KSM daemon running on the scalar reference implementations."""
+
+    def __init__(self, hypervisor, config=None, **kwargs):
+        super().__init__(hypervisor, config,
+                         checksum_fn=self._scalar_checksum, **kwargs)
+        self.stable_tree = ContentRBTree("stable",
+                                        compare=compare_pages_scalar)
+        self.unstable_tree = ContentRBTree("unstable",
+                                          compare=compare_pages_scalar)
+
+    # checksum_fn != _default_checksum, so the base class skips the
+    # jhash2_batch priming sweep — every checksum is paid per page.
+    def _scalar_checksum(self, frame):
+        return page_checksum(frame.data, n_bytes=self.config.hash_bytes)
+
+    def _stable_key_fn(self, ppn):
+        memory = self.hypervisor.memory
+
+        def key():
+            try:
+                return memory.frame(ppn).data
+            except KeyError:
+                raise StaleNodeError(f"stable PPN {ppn} freed") from None
+
+        return key
+
+    def _unstable_key_fn(self, vm_id, gpn):
+        hypervisor = self.hypervisor
+
+        def key():
+            vm = hypervisor.vms.get(vm_id)
+            if vm is None:
+                raise StaleNodeError(f"VM{vm_id} destroyed")
+            mapping = vm.lookup(gpn)
+            if mapping is None:
+                raise StaleNodeError(f"VM{vm_id} GPN {gpn} unmapped")
+            if mapping.cow:
+                raise StaleNodeError(f"VM{vm_id} GPN {gpn} became stable")
+            return hypervisor.memory.frame(mapping.ppn).data
+
+        return key
+
+    def _walk_pruning(self, tree, frame, interval):
+        # Array candidate + scalar comparator: the walk takes the
+        # generic (non-inlined) path, exactly as it did pre-vectorization.
+        while True:
+            try:
+                outcome = tree.walk(frame.data)
+                interval.comparisons += outcome.comparisons
+                interval.bytes_compared += outcome.bytes_compared
+                return outcome
+            except StaleNodeError:
+                self._prune_stale(tree)
+                interval.stale_nodes_pruned += 1

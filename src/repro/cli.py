@@ -11,6 +11,8 @@ Commands map one-to-one onto the paper's experiments:
 * ``demo``      — the 30-second quickstart merge demo;
 * ``verify``    — correctness gate (golden figures, differential
   oracle, runtime invariant audit);
+* ``bench``     — performance baselines (hot-path timings, BENCH_*.json
+  snapshots, regression comparison);
 * ``config``    — print Table 2 (the architecture in force).
 
 Every command accepts ``--csv PATH`` / ``--json PATH`` to export rows.
@@ -39,6 +41,7 @@ from repro.analysis.export import (
     rows_to_json,
     savings_to_rows,
 )
+from repro.bench.cli import add_bench_parser
 from repro.common.config import TAILBENCH_APPS, default_machine_config
 from repro.sim.backends import available_backends, recoverable_backends
 
@@ -455,6 +458,8 @@ def build_parser():
                    help="number of differential seeds")
     p.add_argument("--json", help="write computed fingerprints to a file")
     p.set_defaults(func=cmd_verify)
+
+    add_bench_parser(sub)
 
     p = sub.add_parser("config", help="print Table 2 configuration")
     p.set_defaults(func=cmd_config)

@@ -14,6 +14,7 @@ candidate is compared against an arbitrary page set; the same machinery
 walks an explicit page graph.
 """
 
+from collections import deque
 from dataclasses import dataclass
 
 from repro.common.config import KSMConfig, PageForgeConfig, ResilienceConfig
@@ -26,7 +27,6 @@ from repro.core.scan_table import (
     miss_sentinel,
 )
 from repro.ksm.daemon import KSMDaemon, StaleNodeError, WalkFailure
-from repro.ksm.jhash import page_checksum
 from repro.ksm.rbtree import WalkOutcome
 from repro.mem.controller import RequestDropped, UncorrectableLineError
 
@@ -97,9 +97,9 @@ class PageForgeTreeStrategy:
         """
         capacity = self.api.table.n_entries
         nodes = []
-        frontier = [start_node]
+        frontier = deque([start_node])
         while frontier and len(nodes) < capacity:
-            node = frontier.pop(0)
+            node = frontier.popleft()
             nodes.append(node)
             left, right = tree.children(node)
             if left is not None:
@@ -438,9 +438,7 @@ class PageForgeMergeDriver:
         daemon = self.daemon
         if backend == "software":
             daemon.search_strategy = None
-            daemon.checksum_fn = lambda frame: page_checksum(
-                frame.data, n_bytes=daemon.config.hash_bytes
-            )
+            daemon.checksum_fn = daemon._default_checksum
             daemon.checksum_bytes_cost = daemon.config.hash_bytes
         elif backend == "hardware":
             daemon.search_strategy = self.strategy

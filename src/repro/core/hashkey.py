@@ -15,7 +15,7 @@ from repro.common.units import (
     HASH_SECTIONS_PER_PAGE,
     LINES_PER_PAGE,
 )
-from repro.ecc.hamming import encode_page
+from repro.ecc.hamming import encode_lines
 
 _LINES_PER_SECTION = HASH_SECTION_BYTES // CACHE_LINE_BYTES
 
@@ -55,18 +55,28 @@ def minikey_from_ecc(code_bytes, minikey_bits=8):
     return value
 
 
-def ecc_hash_key(page_bytes, line_offsets=(0, 16, 32, 48), minikey_bits=8):
+def ecc_hash_key(page_bytes, line_offsets=(0, 16, 32, 48), minikey_bits=8,
+                 codes=None):
     """Compute a page's ECC hash key directly (software reference).
 
     The hardware assembles the same value incrementally as lines stream
-    past; this function encodes the page and picks the same minikeys, and
-    is used for verification and for experiments that only need the key.
+    past; this function picks the same minikeys, and is used for
+    verification and for experiments that only need the key.
+
+    Each 64 B line encodes independently, so only the selected lines are
+    encoded (256 B of a 4 KB page for the default geometry) — the same
+    data reduction the paper's hardware gets for free.  Passing a full
+    per-line ``codes`` table (``(64, 8)``, e.g. a frame's cached
+    ``ecc_codes``) skips encoding entirely.
     """
     line_offsets = validate_offsets(line_offsets)
-    codes = encode_page(page_bytes)
+    if codes is None:
+        selected = encode_lines(page_bytes, line_offsets)
+    else:
+        selected = [codes[line] for line in line_offsets]
     key = 0
-    for i, line in enumerate(line_offsets):
-        key |= minikey_from_ecc(codes[line], minikey_bits) << (minikey_bits * i)
+    for i, line_code in enumerate(selected):
+        key |= minikey_from_ecc(line_code, minikey_bits) << (minikey_bits * i)
     return key
 
 

@@ -15,9 +15,12 @@ All hot paths are vectorised over numpy ``uint64`` arrays.
 """
 
 import enum
+import sys
 from dataclasses import dataclass
 
 import numpy as np
+
+_LITTLE_ENDIAN = sys.byteorder == "little"
 
 from repro.common.units import CACHE_LINE_BYTES, PAGE_BYTES
 
@@ -80,6 +83,47 @@ def _popcount_u64(words):
     return ((w * _H01) >> np.uint64(56)).astype(np.uint8)
 
 
+def _encode_words_swar(words):
+    """Reference SECDED encode: seven masked popcount passes + parity.
+
+    This is the original definition-level implementation; kept as the
+    ground truth for the table-driven fast path below (the equivalence
+    property tests compare the two bit-for-bit) and for the ``--scalar``
+    bench baseline.
+    """
+    words = np.asarray(words, dtype=np.uint64)
+    checks = np.zeros(words.shape, dtype=np.uint8)
+    for k in range(HAMMING_CHECK_BITS):
+        bit = _popcount_u64(words & _CHECK_MASKS_U64[k]) & 1
+        checks |= (bit << k).astype(np.uint8)
+    # Overall parity covers all data bits and the seven Hamming checks.
+    data_parity = _popcount_u64(words) & 1
+    check_parity = _popcount_u64(checks.astype(np.uint64)) & 1
+    overall = (data_parity ^ check_parity) & 1
+    checks |= (overall << 7).astype(np.uint8)
+    return checks
+
+
+def _build_encode_table():
+    """(8, 256) byte-wise superposition table for the linear encode.
+
+    Every check bit (the seven Hamming checks *and* the overall parity)
+    is a parity over codeword bits, so the full check byte is GF(2)-linear
+    in the data word: ``encode(x ^ y) == encode(x) ^ encode(y)`` and
+    ``encode(0) == 0``.  Any 64-bit word is the XOR of its eight
+    byte-aligned parts, so ``table[j][byte_j]`` XOR-composed over j
+    reproduces the SWAR encode exactly.
+    """
+    table = np.empty((8, 256), dtype=np.uint8)
+    byte_values = np.arange(256, dtype=np.uint64)
+    for j in range(8):
+        table[j] = _encode_words_swar(byte_values << np.uint64(8 * j))
+    return table
+
+
+_ENCODE_TABLE = _build_encode_table()
+
+
 def encode_words(words):
     """ECC check bytes for an array of 64-bit data words.
 
@@ -94,16 +138,17 @@ def encode_words(words):
     bit 7 is the overall parity of the full 72-bit codeword.
     """
     words = np.asarray(words, dtype=np.uint64)
-    checks = np.zeros(words.shape, dtype=np.uint8)
-    for k in range(HAMMING_CHECK_BITS):
-        bit = _popcount_u64(words & _CHECK_MASKS_U64[k]) & 1
-        checks |= (bit << k).astype(np.uint8)
-    # Overall parity covers all data bits and the seven Hamming checks.
-    data_parity = _popcount_u64(words) & 1
-    check_parity = _popcount_u64(checks.astype(np.uint64)) & 1
-    overall = (data_parity ^ check_parity) & 1
-    checks |= (overall << 7).astype(np.uint8)
-    return checks
+    if not _LITTLE_ENDIAN:
+        return _encode_words_swar(words)
+    shape = words.shape
+    # Table-driven linear encode: one gather + XOR per byte lane replaces
+    # seven masked popcount passes over the whole array.
+    lanes = np.ascontiguousarray(words).reshape(-1).view(np.uint8).reshape(-1, 8)
+    t = _ENCODE_TABLE
+    checks = t[0][lanes[:, 0]]
+    for j in range(1, 8):
+        checks = checks ^ t[j][lanes[:, j]]
+    return checks.reshape(shape)
 
 
 def encode_word(word):
@@ -218,3 +263,32 @@ def encode_page(page_bytes):
     words = _as_words(page_bytes, PAGE_BYTES, "page")
     checks = encode_words(words)
     return checks.reshape(_LINES_PER_PAGE, _WORDS_PER_LINE)
+
+
+def encode_lines(page_bytes, line_indices):
+    """ECC codes for a subset of a page's cache lines.
+
+    Returns ``(len(line_indices), 8) uint8``: row ``i`` is the code of
+    line ``line_indices[i]``.  Each 64 B line encodes independently, so
+    this equals ``encode_page(page_bytes)[line_indices]`` while touching
+    only the selected lines — the hash-key path needs 4 of 64.
+    """
+    words = _as_words(page_bytes, PAGE_BYTES, "page").reshape(
+        _LINES_PER_PAGE, _WORDS_PER_LINE
+    )
+    return encode_words(words[list(line_indices)])
+
+
+def encode_pages(pages):
+    """Batch per-line ECC codes for N pages at once.
+
+    ``pages`` is ``(N, PAGE_BYTES) uint8``; returns ``(N, 64, 8) uint8``
+    where ``result[n]`` equals ``encode_page(pages[n])``.
+    """
+    pages = np.ascontiguousarray(np.asarray(pages, dtype=np.uint8))
+    if pages.ndim != 2 or pages.shape[1] != PAGE_BYTES:
+        raise ValueError(f"pages must be (N, {PAGE_BYTES}) bytes")
+    words = pages.view(np.uint64)
+    return encode_words(words).reshape(
+        pages.shape[0], _LINES_PER_PAGE, _WORDS_PER_LINE
+    )

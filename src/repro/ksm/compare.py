@@ -37,6 +37,46 @@ class CompareCounter:
         self.lines_touched = 0
 
 
+def _as_bytes(page):
+    """Immutable ``bytes`` view of a page (arrays, buffers, or bytes)."""
+    if type(page) is bytes:
+        return page
+    if isinstance(page, (bytearray, memoryview)):
+        return bytes(page)
+    return np.ascontiguousarray(np.asarray(page, dtype=np.uint8)).tobytes()
+
+
+def _first_mismatch(a, b):
+    """Index of the first differing byte of two unequal equal-length
+    ``bytes`` objects, via binary search over slice equality.
+
+    Each probe is a C-level memcmp of at most half the remaining range,
+    so locating the divergence costs O(log n) slice compares instead of
+    a Python-level byte loop.
+    """
+    lo, hi = 0, len(a)
+    while hi - lo > 8:
+        mid = (lo + hi) // 2
+        if a[lo:mid] == b[lo:mid]:
+            lo = mid
+        else:
+            hi = mid
+    for i in range(lo, hi):
+        if a[i] != b[i]:
+            return i
+    raise AssertionError("no mismatch in unequal buffers")
+
+
+#: Memo over compared content pairs.  compare_pages is a pure function of
+#: the two byte strings, and steady-state scanning walks each candidate
+#: past largely the same tree nodes every pass, so repeat pairs dominate.
+#: Keys are the ``bytes`` objects themselves: frames hand out a stable
+#: ``content_bytes`` object until written, so a hit costs two cached
+#: string hashes and two pointer-equality checks.
+_PAIR_MEMO = {}
+_PAIR_MEMO_MAX = 1 << 18
+
+
 def compare_pages(a, b):
     """memcmp-order two pages.
 
@@ -44,6 +84,47 @@ def compare_pages(a, b):
     smaller / equal / larger in lexicographic byte order, and
     ``bytes_touched`` is how many bytes a serial memcmp would have read
     from *each* page before deciding (the full page when equal).
+
+    Bit-identical to :func:`compare_pages_scalar`, but the equality test
+    is one C memcmp, the first-diff search is a binary search over slice
+    equality, and repeat pairs are memoized — callers that pass cached
+    ``bytes`` (see ``PageFrame.content_bytes``) skip the array conversion
+    entirely.
+    """
+    ab = _as_bytes(a)
+    bb = _as_bytes(b)
+    if len(ab) != len(bb):
+        raise ValueError("pages must be the same size")
+    if ab == bb:
+        return 0, len(ab)
+    pair = (ab, bb)
+    hit = _PAIR_MEMO.get(pair)
+    if hit is not None:
+        return hit
+    return _memoize_pair(pair)
+
+
+def _memoize_pair(pair):
+    """Compute, memoize, and return the ordering of an unequal pair.
+
+    Split out of :func:`compare_pages` so the tree walk's inlined fast
+    path (``ContentRBTree.walk``) can share the memo without paying a
+    full ``compare_pages`` call on every hit.
+    """
+    ab, bb = pair
+    first = _first_mismatch(ab, bb)
+    sign = -1 if ab[first] < bb[first] else 1
+    result = (sign, first + 1)
+    if len(_PAIR_MEMO) >= _PAIR_MEMO_MAX:
+        _PAIR_MEMO.clear()
+    _PAIR_MEMO[pair] = result
+    return result
+
+
+def compare_pages_scalar(a, b):
+    """The original chunked numpy comparison, kept as the reference
+    implementation for the equivalence property tests and as the
+    pre-vectorization baseline ``repro bench`` measures speedups against.
     """
     a = np.asarray(a, dtype=np.uint8)
     b = np.asarray(b, dtype=np.uint8)
@@ -66,8 +147,11 @@ def compare_pages(a, b):
 
 def pages_identical(a, b):
     """Exhaustive equality (the final pre-merge check)."""
-    sign, _ = compare_pages(a, b)
-    return sign == 0
+    ab = _as_bytes(a)
+    bb = _as_bytes(b)
+    if len(ab) != len(bb):
+        raise ValueError("pages must be the same size")
+    return ab == bb
 
 
 def full_compare_cost():

@@ -13,12 +13,15 @@ per interval so the timing model can charge the daemon's CPU time and
 cache pollution to the core it currently occupies (Table 4).
 """
 
-from collections import deque
+from collections import deque, namedtuple
 from dataclasses import dataclass, fields
 
+import numpy as np
+
 from repro.common.config import KSMConfig
-from repro.ksm.jhash import page_checksum
+from repro.ksm.jhash import KSM_CHECKSUM_INITVAL, jhash2, jhash2_batch
 from repro.ksm.rbtree import ContentRBTree, RBNode
+from repro.mem.frame import write_epoch
 from repro.virt.hypervisor import MergeRollback
 
 
@@ -103,10 +106,10 @@ class _NullCostSink:
         pass
 
 
-@dataclass
-class _Candidate:
-    vm_id: int
-    gpn: int
+#: One scan-queue entry.  A namedtuple, not a dataclass: pass queues hold
+#: one of these per mergeable page per pass, so construction cost shows up
+#: directly in scan throughput.
+_Candidate = namedtuple("_Candidate", ("vm_id", "gpn"))
 
 
 class KSMDaemon:
@@ -121,11 +124,7 @@ class KSMDaemon:
         # ECC-based hash keys while reusing this exact algorithm
         # (Section 3.4).  None = software (jhash2 over 1 KB).
         self.search_strategy = search_strategy
-        self.checksum_fn = checksum_fn or (
-            lambda frame: page_checksum(
-                frame.data, n_bytes=self.config.hash_bytes
-            )
-        )
+        self.checksum_fn = checksum_fn or self._default_checksum
         self.checksum_bytes_cost = (
             checksum_bytes if checksum_bytes is not None
             else self.config.hash_bytes
@@ -136,6 +135,7 @@ class KSMDaemon:
         self.pass_history = []
         self._checksums = {}
         self._pass_queue = deque()
+        self._prime_epoch = -1  # frame-write epoch at the last prime sweep
         self._pass_index = 0
         self.total_merges = 0
         self._pass_merges_at_start = 0
@@ -144,32 +144,96 @@ class KSMDaemon:
         # state is quiescent and safe to traverse.
         self.audit_hook = None
 
+    # Checksums -------------------------------------------------------------------
+
+    def _default_checksum(self, frame):
+        """Software KSM checksum: jhash2 over the page's first 1 KB.
+
+        Memoized on the frame's content version, so unchanged pages cost
+        a tuple compare per pass instead of a hash.  Identical values to
+        ``page_checksum(frame.data, n_bytes=config.hash_bytes)``.
+        """
+        n_bytes = self.config.hash_bytes
+        params = ("jhash", n_bytes, KSM_CHECKSUM_INITVAL)
+        memo = frame._checksum_memo
+        if memo is not None and memo[0] == params:
+            return memo[1]
+        window = np.frombuffer(
+            frame.content_bytes, dtype=np.uint32, count=n_bytes // 4
+        )
+        value = jhash2(window, KSM_CHECKSUM_INITVAL)
+        frame.seed_checksum(params, value)
+        return value
+
+    def _prime_checksums(self, queue):
+        """Batch-hash every un-memoized candidate frame in one sweep.
+
+        jhash2 is sequential within a page but independent across pages;
+        ``jhash2_batch`` advances all pending rows in lockstep, replacing
+        N Python hashing loops with one numpy loop.  Seeds the same
+        per-frame memo ``_default_checksum`` reads, with bit-identical
+        values — purely a throughput optimisation.
+        """
+        n_bytes = self.config.hash_bytes
+        params = ("jhash", n_bytes, KSM_CHECKSUM_INITVAL)
+        hyp = self.hypervisor
+        frames = []
+        seen = set()
+        for vm_id, gpn in queue:
+            vm = hyp.vms.get(vm_id)
+            if vm is None:
+                continue
+            mapping = vm.lookup(gpn)
+            if mapping is None or not mapping.mergeable or mapping.cow:
+                continue
+            frame = hyp.memory.frame(mapping.ppn)
+            memo = frame._checksum_memo
+            if frame.ppn in seen or (memo is not None and memo[0] == params):
+                continue
+            seen.add(frame.ppn)
+            frames.append(frame)
+        if len(frames) < 8:
+            return  # scalar hashing is cheaper than batch setup
+        words = np.empty((len(frames), n_bytes // 4), dtype=np.uint32)
+        for i, frame in enumerate(frames):
+            words[i] = np.frombuffer(
+                frame.content_bytes, dtype=np.uint32, count=n_bytes // 4
+            )
+        values = jhash2_batch(words, KSM_CHECKSUM_INITVAL)
+        for frame, value in zip(frames, values):
+            frame.seed_checksum(params, int(value))
+
     # Node construction -----------------------------------------------------------
 
     def _stable_key_fn(self, ppn):
-        memory = self.hypervisor.memory
+        # Bind the frame table itself: the closure runs once per tree
+        # node per walk, so every attribute hop it avoids is paid back
+        # millions of times over a long scan.
+        frames = self.hypervisor.memory._frames
 
         def key():
-            if not memory.is_allocated(ppn):
-                raise StaleNodeError(f"stable PPN {ppn} freed")
-            return memory.frame(ppn).data
+            try:
+                return frames[ppn].content_bytes
+            except KeyError:
+                raise StaleNodeError(f"stable PPN {ppn} freed") from None
 
         return key
 
     def _unstable_key_fn(self, vm_id, gpn):
-        hyp = self.hypervisor
+        vms_get = self.hypervisor.vms.get
+        frames = self.hypervisor.memory._frames
 
         def key():
-            vm = hyp.vms.get(vm_id)
+            vm = vms_get(vm_id)
             if vm is None:
                 raise StaleNodeError(f"VM{vm_id} destroyed")
-            if not vm.is_mapped(gpn):
+            mapping = vm._table.get(gpn)
+            if mapping is None:
                 raise StaleNodeError(f"VM{vm_id} GPN {gpn} unmapped")
-            mapping = vm.mapping(gpn)
             if mapping.cow:
                 # Page got merged since insertion; node is stale.
                 raise StaleNodeError(f"VM{vm_id} GPN {gpn} became stable")
-            return hyp.memory.frame(mapping.ppn).data
+            return frames[mapping.ppn].content_bytes
 
         return key
 
@@ -180,13 +244,27 @@ class KSMDaemon:
         for vm in self.hypervisor.vms.values():
             for mapping in vm.mergeable_mappings():
                 queue.append(_Candidate(vm.vm_id, mapping.gpn))
+        if self.checksum_fn == self._default_checksum:
+            # Software-KSM checksums can be produced for the whole pass in
+            # one vectorised sweep; hardware backends generate keys as a
+            # side effect of their own walks, so priming would be wasted.
+            self._prime_checksums(queue)
+            self._prime_epoch = write_epoch()
         return queue
+
+    def _count_candidates(self):
+        """Mergeable-page population, without building (or priming) a queue."""
+        return sum(
+            1
+            for vm in self.hypervisor.vms.values()
+            for _ in vm.mergeable_mappings()
+        )
 
     def _end_pass(self):
         self.pass_history.append(
             KSMPassStats(
                 pass_index=self._pass_index,
-                candidates=len(self._build_pass_queue()),
+                candidates=self._count_candidates(),
                 merges=self.total_merges - self._pass_merges_at_start,
                 footprint_pages=self.hypervisor.footprint_pages(),
             )
@@ -204,7 +282,13 @@ class KSMDaemon:
                 if self.search_strategy is not None:
                     outcome = self.search_strategy.walk(tree, frame)
                 else:
-                    outcome = tree.walk(frame.data)
+                    # Only cost models read WalkOutcome.path; skip
+                    # recording it under the null sink.
+                    outcome = tree.walk(
+                        frame.content_bytes,
+                        collect_path=type(self.cost_sink)
+                        is not _NullCostSink,
+                    )
                 interval.comparisons += outcome.comparisons
                 interval.bytes_compared += outcome.bytes_compared
                 return outcome
@@ -230,6 +314,17 @@ class KSMDaemon:
         if n_pages is None:
             n_pages = self.config.pages_to_scan
         interval = KSMWorkStats()
+        if (
+            self._pass_queue
+            and self.checksum_fn == self._default_checksum
+            and self._prime_epoch != write_epoch()
+        ):
+            # Guest writes since the last sweep (the churner runs between
+            # intervals) invalidated some memos; re-prime the remaining
+            # queue in one vectorised sweep.  When no frame anywhere was
+            # written, the epoch gate skips the sweep outright.
+            self._prime_checksums(self._pass_queue)
+            self._prime_epoch = write_epoch()
         processed = 0.0
         while processed < n_pages:
             if not self._pass_queue:
@@ -257,12 +352,12 @@ class KSMDaemon:
     def _process_candidate(self, candidate, interval):
         hyp = self.hypervisor
         vm = hyp.vms.get(candidate.vm_id)
-        if vm is None or not vm.is_mapped(candidate.gpn):
+        if vm is None:
             return
-        mapping = vm.mapping(candidate.gpn)
-        if not mapping.mergeable or mapping.cow:
-            return  # already merged (stable) or opted out
-        frame = hyp.memory.frame(mapping.ppn)
+        mapping = vm._table.get(candidate.gpn)
+        if mapping is None or not mapping.mergeable or mapping.cow:
+            return  # unmapped, already merged (stable), or opted out
+        frame = hyp.memory._frames[mapping.ppn]
         interval.pages_scanned += 1
         try:
             self._scan_candidate(vm, candidate, frame, interval)
@@ -278,11 +373,13 @@ class KSMDaemon:
 
     def _scan_candidate(self, vm, candidate, frame, interval):
         hyp = self.hypervisor
-        ckey = (candidate.vm_id, candidate.gpn)
+        # _Candidate is a namedtuple, so it hashes and compares like the
+        # plain (vm_id, gpn) tuples a checkpoint restore produces.
+        ckey = candidate
 
         # --- Line 7: search the stable tree.
         outcome = self._walk_pruning(self.stable_tree, frame, interval)
-        self._charge_walk(outcome, frame.ppn)
+        self.cost_sink.on_walk(frame.ppn, outcome)
         if outcome.match is not None:
             self._merge_into_stable(vm, candidate, outcome.match, interval)
             return
@@ -307,7 +404,7 @@ class KSMDaemon:
 
         # --- Line 13: search the unstable tree.
         outcome = self._walk_pruning(self.unstable_tree, frame, interval)
-        self._charge_walk(outcome, frame.ppn)
+        self.cost_sink.on_walk(frame.ppn, outcome)
         if outcome.match is not None:
             self._merge_unstable(vm, candidate, outcome.match, interval)
         else:
@@ -317,9 +414,6 @@ class KSMDaemon:
             )
             self.unstable_tree.insert_at(outcome, node)
             interval.unstable_inserts += 1
-
-    def _charge_walk(self, outcome, candidate_ppn):
-        self.cost_sink.on_walk(candidate_ppn, outcome)
 
     def _merge_into_stable(self, vm, candidate, stable_node, interval):
         """Merge the candidate with an existing stable (CoW) frame."""
@@ -401,7 +495,7 @@ class KSMDaemon:
         """
         last_footprint = None
         for _ in range(max_passes):
-            queue_len = len(self._build_pass_queue())
+            queue_len = self._count_candidates()
             # Process at least one full pass.
             self.scan_pages(max(queue_len, 1))
             footprint = self.hypervisor.footprint_pages()

@@ -74,6 +74,70 @@ def jhash2(words, initval=0):
     return c
 
 
+def _rol32_vec(x, k):
+    return (x << np.uint32(k)) | (x >> np.uint32(32 - k))
+
+
+def _mix_vec(a, b, c):
+    a -= c; a ^= _rol32_vec(c, 4); c += b
+    b -= a; b ^= _rol32_vec(a, 6); a += c
+    c -= b; c ^= _rol32_vec(b, 8); b += a
+    a -= c; a ^= _rol32_vec(c, 16); c += b
+    b -= a; b ^= _rol32_vec(a, 19); a += c
+    c -= b; c ^= _rol32_vec(b, 4); b += a
+    return a, b, c
+
+
+def _final_vec(a, b, c):
+    c ^= b; c -= _rol32_vec(b, 14)
+    a ^= c; a -= _rol32_vec(c, 11)
+    b ^= a; b -= _rol32_vec(a, 25)
+    c ^= b; c -= _rol32_vec(b, 16)
+    a ^= c; a -= _rol32_vec(c, 4)
+    b ^= a; b -= _rol32_vec(a, 14)
+    c ^= b; c -= _rol32_vec(b, 24)
+    return a, b, c
+
+
+def jhash2_batch(word_rows, initval=0):
+    """jhash2 of N equal-length word sequences at once.
+
+    ``word_rows`` is an ``(N, L)`` array-like of u32 words; returns an
+    ``(N,)`` ``uint32`` array where row ``n`` equals
+    ``jhash2(word_rows[n], initval)``.  The hash is inherently sequential
+    *within* a row, but every row advances in lockstep, so the Python-level
+    mixing loop runs ``L/3`` times total instead of per page — the batch
+    prefetch path of the KSM daemon uses this to hash a whole pass queue
+    in a few hundred numpy operations.
+    """
+    k = np.atleast_2d(np.asarray(word_rows)).astype(np.uint32, copy=False)
+    n, length = k.shape
+    seed = np.uint32(
+        (JHASH_INITVAL + (length << 2) + initval) & _MASK32
+    )
+    a = np.full(n, seed, dtype=np.uint32)
+    b = a.copy()
+    c = a.copy()
+    i = 0
+    rem = length
+    with np.errstate(over="ignore"):
+        while rem > 3:
+            a += k[:, i]
+            b += k[:, i + 1]
+            c += k[:, i + 2]
+            a, b, c = _mix_vec(a, b, c)
+            rem -= 3
+            i += 3
+        if rem == 3:
+            c += k[:, i + 2]
+        if rem >= 2:
+            b += k[:, i + 1]
+        if rem >= 1:
+            a += k[:, i]
+            a, b, c = _final_vec(a, b, c)
+    return c
+
+
 #: Memo for page_checksum: jhash2 is pure, and KSM re-hashes unchanged
 #: pages every pass, so caching by content is semantics-preserving and
 #: turns steady-state passes from O(page) hashing into a dict lookup.

@@ -13,10 +13,7 @@ fully CoW-broken away must be pruned, and merged pages move from the
 unstable to the stable tree.
 """
 
-from dataclasses import dataclass, field
-from typing import List, Optional
-
-from repro.ksm.compare import compare_pages
+from repro.ksm.compare import _PAIR_MEMO, _memoize_pair, compare_pages
 
 RED = "red"
 BLACK = "black"
@@ -48,7 +45,6 @@ class RBNode:
         return f"RBNode(payload={self.payload!r}, color={self.color})"
 
 
-@dataclass
 class WalkOutcome:
     """Result of one search walk.
 
@@ -56,14 +52,29 @@ class WalkOutcome:
     ``parent``/``direction`` give the insertion point.  ``path`` lists the
     nodes compared, in order — PageForge's Scan Table walks exactly this
     sequence via its Less/More pointers.
+
+    A ``__slots__`` class rather than a dataclass: one is built per tree
+    walk, so construction cost is on the scan hot path.
     """
 
-    match: Optional[RBNode]
-    parent: Optional[RBNode]
-    direction: str  # "left" | "right" | "root"
-    comparisons: int
-    bytes_compared: int
-    path: List[RBNode] = field(default_factory=list)
+    __slots__ = ("match", "parent", "direction", "comparisons",
+                 "bytes_compared", "path")
+
+    def __init__(self, match, parent, direction, comparisons,
+                 bytes_compared, path=None):
+        self.match = match
+        self.parent = parent
+        self.direction = direction
+        self.comparisons = comparisons
+        self.bytes_compared = bytes_compared
+        self.path = () if path is None else path
+
+    def __repr__(self):
+        return (
+            f"WalkOutcome(match={self.match!r}, direction={self.direction!r}, "
+            f"comparisons={self.comparisons}, "
+            f"bytes_compared={self.bytes_compared})"
+        )
 
 
 class ContentRBTree:
@@ -80,22 +91,72 @@ class ContentRBTree:
 
     # Search -----------------------------------------------------------------
 
-    def walk(self, candidate_bytes):
-        """Search for ``candidate_bytes``; returns :class:`WalkOutcome`."""
+    def walk(self, candidate_bytes, collect_path=True):
+        """Search for ``candidate_bytes``; returns :class:`WalkOutcome`.
+
+        ``collect_path=False`` skips recording the visited-node list
+        (``WalkOutcome.path`` comes back empty) — callers that never read
+        the path, like the daemon under a null cost sink, save a list
+        append per node.
+        """
+        nil = self._nil
+        compare = self._compare
         node = self.root
         parent = None
         direction = "root"
         comparisons = 0
         total_bytes = 0
-        path = []
-        while node is not self._nil:
-            sign, cost = self._compare(candidate_bytes, node.key())
+        path = [] if collect_path else None
+        append = path.append if collect_path else None
+        if compare is compare_pages and type(candidate_bytes) is bytes:
+            # Inlined default comparison.  One walk issues O(log n)
+            # compares, each against a frame's cached ``content_bytes``,
+            # so the equality test is a C memcmp and the ordering of an
+            # unequal pair comes from the shared pair memo — identical
+            # values to compare_pages(), without the per-node call chain.
+            n = len(candidate_bytes)
+            memo_get = _PAIR_MEMO.get
+            while node is not nil:
+                key = node.key_fn()
+                if type(key) is not bytes or len(key) != n:
+                    sign, cost = compare_pages(candidate_bytes, key)
+                elif key == candidate_bytes:
+                    sign, cost = 0, n
+                else:
+                    pair = (candidate_bytes, key)
+                    hit = memo_get(pair)
+                    sign, cost = hit if hit is not None else _memoize_pair(pair)
+                comparisons += 1
+                total_bytes += cost
+                if append is not None:
+                    append(node)
+                if sign == 0:
+                    return WalkOutcome(
+                        match=node,
+                        parent=node.parent if node.parent is not nil else None,
+                        direction=direction, comparisons=comparisons,
+                        bytes_compared=total_bytes, path=path,
+                    )
+                parent = node
+                if sign < 0:
+                    node = node.left
+                    direction = "left"
+                else:
+                    node = node.right
+                    direction = "right"
+            return WalkOutcome(
+                match=None, parent=parent, direction=direction,
+                comparisons=comparisons, bytes_compared=total_bytes, path=path,
+            )
+        while node is not nil:
+            sign, cost = compare(candidate_bytes, node.key())
             comparisons += 1
             total_bytes += cost
-            path.append(node)
+            if append is not None:
+                append(node)
             if sign == 0:
                 return WalkOutcome(
-                    match=node, parent=node.parent if node.parent is not self._nil else None,
+                    match=node, parent=node.parent if node.parent is not nil else None,
                     direction=direction, comparisons=comparisons,
                     bytes_compared=total_bytes, path=path,
                 )

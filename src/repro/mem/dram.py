@@ -47,48 +47,65 @@ class BandwidthWindow:
             raise ValueError("window must be positive")
         self.window_seconds = float(window_seconds)
         self._buckets = defaultdict(lambda: defaultdict(int))
+        # Running per-bucket totals, maintained on record() so the
+        # queries below (and the contention model, which runs per cache
+        # miss) never re-sum the per-source maps.
+        self._totals = defaultdict(int)
 
     def record(self, time_seconds, n_bytes, source):
         bucket = int(time_seconds / self.window_seconds)
-        self._buckets[bucket][source] += int(n_bytes)
+        n_bytes = int(n_bytes)
+        self._buckets[bucket][source] += n_bytes
+        self._totals[bucket] += n_bytes
 
     def bucket_totals(self):
         """Sorted list of (bucket_start_seconds, total_bytes)."""
         return [
-            (b * self.window_seconds, sum(by_src.values()))
-            for b, by_src in sorted(self._buckets.items())
+            (b * self.window_seconds, total)
+            for b, total in sorted(self._totals.items())
         ]
 
     def peak_gbps(self):
         """Peak bandwidth over any window, in GB/s (decimal)."""
-        totals = [sum(by_src.values()) for by_src in self._buckets.values()]
-        if not totals:
+        if not self._totals:
             return 0.0
-        return max(totals) / self.window_seconds / 1e9
+        return max(self._totals.values()) / self.window_seconds / 1e9
 
     def peak_window_breakdown(self):
         """(start_seconds, {source: gbps}) of the busiest window."""
-        if not self._buckets:
+        if not self._totals:
             return 0.0, {}
-        bucket, by_src = max(
-            self._buckets.items(), key=lambda kv: sum(kv[1].values())
-        )
+        bucket = max(self._totals, key=self._totals.get)
         return (
             bucket * self.window_seconds,
             {
                 src: n / self.window_seconds / 1e9
-                for src, n in by_src.items()
+                for src, n in self._buckets[bucket].items()
             },
         )
 
     def mean_gbps(self):
         """Average bandwidth across the observed span, in GB/s."""
-        if not self._buckets:
+        if not self._totals:
             return 0.0
-        span = (max(self._buckets) - min(self._buckets) + 1) * self.window_seconds
-        return sum(
-            sum(by_src.values()) for by_src in self._buckets.values()
-        ) / span / 1e9
+        span = (max(self._totals) - min(self._totals) + 1) * self.window_seconds
+        return sum(self._totals.values()) / span / 1e9
+
+    def recent_bytes(self, time_seconds):
+        """Bytes attributable to the sliding window ending at ``time_seconds``.
+
+        The current bucket counts in full; the previous bucket is
+        weighted by how much of it the sliding window still covers.
+        O(1) — the contention model calls this once per L3 miss.
+        """
+        totals = self._totals
+        position = time_seconds / self.window_seconds
+        bucket = int(position)
+        recent = totals.get(bucket, 0)
+        previous = totals.get(bucket - 1)
+        if previous:
+            recent += int(previous * (1 - (position - bucket)))
+        return recent
 
 
 class DRAMModel:

@@ -7,7 +7,17 @@ from repro.common.units import (
     LINES_PER_PAGE,
     PAGE_BYTES,
 )
-from repro.ecc.hamming import encode_page
+from repro.ecc.hamming import encode_lines, encode_page
+
+#: Process-wide count of frame content mutations.  Batch sweeps (e.g. the
+#: KSM daemon's checksum priming) record the epoch after a sweep and skip
+#: the next one entirely when no frame anywhere was written in between.
+_WRITE_EPOCH = 0
+
+
+def write_epoch():
+    """The global frame-write epoch (monotonic; bumped by every write)."""
+    return _WRITE_EPOCH
 
 
 class PageFrame:
@@ -17,9 +27,18 @@ class PageFrame:
     count (>1 after merging), and a cached per-line ECC-code table that is
     invalidated whenever the frame is written — mirroring how the DIMM's
     ECC chip always stores codes consistent with the data chips.
+
+    A monotonically increasing ``version`` counter tracks content
+    mutations; every derived view (``content_bytes``, the jhash checksum,
+    the ECC hash key) is memoized against it, so steady-state merge scans
+    — which revisit unchanged pages every pass — pay for hashing and
+    byte-materialisation once per write, not once per visit.
     """
 
-    __slots__ = ("ppn", "data", "refcount", "_ecc_codes", "writes", "reads")
+    __slots__ = (
+        "ppn", "data", "refcount", "_ecc_codes", "writes", "reads",
+        "version", "_content_bytes", "_checksum_memo", "_ecc_key_memo",
+    )
 
     def __init__(self, ppn, data=None):
         self.ppn = int(ppn)
@@ -34,6 +53,21 @@ class PageFrame:
         self._ecc_codes = None
         self.writes = 0
         self.reads = 0
+        self.version = 0
+        self._content_bytes = None
+        self._checksum_memo = None
+        self._ecc_key_memo = None
+
+    def _invalidate(self):
+        """Drop every content-derived cache after a write."""
+        global _WRITE_EPOCH
+        self._ecc_codes = None
+        self._content_bytes = None
+        self._checksum_memo = None
+        self._ecc_key_memo = None
+        self.version += 1
+        self.writes += 1
+        _WRITE_EPOCH += 1
 
     # Content access ------------------------------------------------------------
 
@@ -54,8 +88,7 @@ class PageFrame:
             raise ValueError(f"line must be {CACHE_LINE_BYTES} bytes")
         start = line_index * CACHE_LINE_BYTES
         self.data[start : start + CACHE_LINE_BYTES] = line
-        self._ecc_codes = None
-        self.writes += 1
+        self._invalidate()
 
     def write_bytes(self, offset, payload):
         """Write arbitrary bytes at ``offset`` within the page."""
@@ -63,8 +96,7 @@ class PageFrame:
         if offset < 0 or offset + payload.size > PAGE_BYTES:
             raise ValueError("write outside page bounds")
         self.data[offset : offset + payload.size] = payload
-        self._ecc_codes = None
-        self.writes += 1
+        self._invalidate()
 
     def fill(self, data):
         """Replace the whole page contents."""
@@ -72,16 +104,27 @@ class PageFrame:
         if data.size != PAGE_BYTES:
             raise ValueError(f"frame data must be {PAGE_BYTES} bytes")
         self.data[:] = data
-        self._ecc_codes = None
-        self.writes += 1
+        self._invalidate()
 
     def zero(self):
         """Zero the frame (the hypervisor does this on allocation)."""
         self.data[:] = 0
-        self._ecc_codes = None
-        self.writes += 1
+        self._invalidate()
 
     # Derived views -------------------------------------------------------------
+
+    @property
+    def content_bytes(self):
+        """The page contents as an immutable ``bytes`` snapshot.
+
+        Cached until the next write.  Tree walks and checksum paths key
+        on this object: comparing two frames becomes one C memcmp, and
+        repeated hashing of an unchanged frame hits a dict with an
+        already-computed hash of the same ``bytes`` object.
+        """
+        if self._content_bytes is None:
+            self._content_bytes = self.data.tobytes()
+        return self._content_bytes
 
     @property
     def ecc_codes(self):
@@ -94,13 +137,52 @@ class PageFrame:
         """8-byte ECC code of one line (as stored in the spare chip)."""
         return self.ecc_codes[line_index]
 
+    def checksum(self, checksum_fn, params):
+        """Memoized content checksum.
+
+        ``checksum_fn`` computes the value from this frame; ``params`` is
+        a hashable description of what was computed (window size,
+        initval, key geometry ...).  The result is cached until the next
+        write, so steady-state scan passes over unchanged pages skip the
+        hash entirely.
+        """
+        memo = self._checksum_memo
+        if memo is not None and memo[0] == params:
+            return memo[1]
+        value = checksum_fn(self)
+        self._checksum_memo = (params, value)
+        return value
+
+    def seed_checksum(self, params, value):
+        """Prime the checksum memo (used by batch prefetchers)."""
+        self._checksum_memo = (params, value)
+
+    def ecc_key(self, key_fn, params):
+        """Memoized ECC hash key (same contract as :meth:`checksum`)."""
+        memo = self._ecc_key_memo
+        if memo is not None and memo[0] == params:
+            return memo[1]
+        value = key_fn(self)
+        self._ecc_key_memo = (params, value)
+        return value
+
+    def ecc_codes_for_lines(self, line_indices):
+        """Codes for selected lines without encoding the whole page.
+
+        Uses the full cached table when present; otherwise encodes just
+        the requested lines (each 64 B line encodes independently).
+        """
+        if self._ecc_codes is not None:
+            return self._ecc_codes[list(line_indices)]
+        return encode_lines(self.data, line_indices)
+
     def is_zero(self):
         """True if every byte of the frame is zero."""
         return not self.data.any()
 
     def same_contents(self, other):
         """Exhaustive byte equality with another frame."""
-        return np.array_equal(self.data, other.data)
+        return self.content_bytes == other.content_bytes
 
     def __repr__(self):
         return f"PageFrame(ppn={self.ppn}, refcount={self.refcount})"

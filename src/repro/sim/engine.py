@@ -1,15 +1,20 @@
 """A minimal discrete-event engine (heap-ordered callbacks)."""
 
 import heapq
-import itertools
 
 
 class EventQueue:
-    """Time-ordered event dispatch with stable FIFO tie-breaking."""
+    """Time-ordered event dispatch with stable FIFO tie-breaking.
+
+    Tie-breaking uses a plain integer sequence number (not
+    ``itertools.count``): schedule/dispatch churn is a measured hot path
+    in the end-to-end figure runs, and the int increment avoids an
+    iterator call per event while preserving identical FIFO order.
+    """
 
     def __init__(self):
         self._heap = []
-        self._counter = itertools.count()
+        self._counter = 0
         self.now = 0.0
         self.events_dispatched = 0
 
@@ -19,10 +24,43 @@ class EventQueue:
             raise ValueError(
                 f"cannot schedule into the past: {time_s} < {self.now}"
             )
-        heapq.heappush(self._heap, (time_s, next(self._counter), callback, args))
+        seq = self._counter
+        self._counter = seq + 1
+        heapq.heappush(self._heap, (time_s, seq, callback, args))
 
     def schedule_in(self, delay_s, callback, *args):
         self.schedule(self.now + delay_s, callback, *args)
+
+    def schedule_batch(self, entries):
+        """Schedule many ``(time_s, callback, args)`` entries at once.
+
+        Equivalent to calling :meth:`schedule` per entry, in order (FIFO
+        tie-breaks match), but validates once and bulk-loads the heap —
+        the load generator uses this to enqueue a whole arrival schedule
+        without a Python call per query.
+        """
+        now = self.now
+        heap = self._heap
+        seq = self._counter
+        add = []
+        for time_s, callback, args in entries:
+            if time_s < now:
+                raise ValueError(
+                    f"cannot schedule into the past: {time_s} < {now}"
+                )
+            add.append((time_s, seq, callback, args))
+            seq += 1
+        self._counter = seq
+        if not add:
+            return
+        if heap:
+            heap.extend(add)
+            heapq.heapify(heap)
+        else:
+            # Common case: bulk load into an empty queue.  Extend in
+            # place (never rebind — the run loops hold a reference).
+            add.sort()
+            heap.extend(add)
 
     def step(self):
         """Dispatch the next event; returns False when the queue is empty."""
@@ -36,14 +74,28 @@ class EventQueue:
 
     def run_until(self, horizon_s):
         """Dispatch all events with time <= horizon, in order."""
-        while self._heap and self._heap[0][0] <= horizon_s:
-            self.step()
+        heap = self._heap
+        pop = heapq.heappop
+        dispatched = 0
+        while heap and heap[0][0] <= horizon_s:
+            time_s, _seq, callback, args = pop(heap)
+            self.now = time_s
+            callback(*args)
+            dispatched += 1
+        self.events_dispatched += dispatched
         self.now = max(self.now, horizon_s)
 
     def run(self):
         """Dispatch until the queue drains."""
-        while self.step():
-            pass
+        heap = self._heap
+        pop = heapq.heappop
+        dispatched = 0
+        while heap:
+            time_s, _seq, callback, args = pop(heap)
+            self.now = time_s
+            callback(*args)
+            dispatched += 1
+        self.events_dispatched += dispatched
 
     def __len__(self):
         return len(self._heap)

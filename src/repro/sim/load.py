@@ -54,12 +54,18 @@ class LoadGenerator:
     # Arrival lifecycle ---------------------------------------------------------
 
     def start(self, events, horizon_s):
-        """Schedule the first arrival of every VM's query stream."""
+        """Schedule the first arrival of every VM's query stream.
+
+        Bulk-loaded via ``schedule_batch``; sequence numbers are assigned
+        in VM order, so FIFO tie-breaking matches per-VM ``schedule``
+        calls exactly.
+        """
         self._horizon = horizon_s
-        for vm_index in range(len(self.system.vms)):
-            first = self.arrivals[vm_index].next_arrival()
-            if first <= horizon_s:
-                events.schedule(first, self._query_arrival, vm_index)
+        events.schedule_batch(
+            (first, self._query_arrival, (vm_index,))
+            for vm_index in range(len(self.system.vms))
+            if (first := self.arrivals[vm_index].next_arrival()) <= horizon_s
+        )
 
     def _query_arrival(self, vm_index):
         vm = self.system.vms[vm_index]

@@ -92,14 +92,7 @@ class MemoryModel:
     def contention_factor(self):
         """Latency inflation from recent DRAM bandwidth pressure."""
         window = self.dram.bandwidth
-        bucket = int(self.now_s / window.window_seconds)
-        buckets = window._buckets
-        recent = 0
-        if bucket in buckets:
-            recent += sum(buckets[bucket].values())
-        if bucket - 1 in buckets:
-            frac = self.now_s / window.window_seconds - bucket
-            recent += int(sum(buckets[bucket - 1].values()) * (1 - frac))
+        recent = window.recent_bytes(self.now_s)
         peak = (
             self.machine.dram.peak_bandwidth_bytes_per_sec
             * window.window_seconds

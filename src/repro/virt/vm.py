@@ -26,6 +26,10 @@ class VirtualMachine:
         self.vm_id = int(vm_id)
         self.name = name
         self._table = {}  # gpn -> GuestMapping
+        # Sorted GPNs that were mergeable when last enumerated; rebuilt
+        # lazily after map/unmap/madvise so per-pass queue building does
+        # not re-sort the whole page table (see mergeable_mappings).
+        self._mergeable_gpns = None
         self.pinned_core = None
 
     # Page table -----------------------------------------------------------------
@@ -36,6 +40,7 @@ class VirtualMachine:
         self._table[gpn] = GuestMapping(
             gpn=gpn, ppn=ppn, mergeable=mergeable, category=category
         )
+        self._mergeable_gpns = None
         return self._table[gpn]
 
     def remap(self, gpn, ppn, cow):
@@ -45,6 +50,7 @@ class VirtualMachine:
         return mapping
 
     def unmap(self, gpn):
+        self._mergeable_gpns = None
         return self._table.pop(gpn)
 
     def mapping(self, gpn):
@@ -58,6 +64,14 @@ class VirtualMachine:
     def is_mapped(self, gpn):
         return gpn in self._table
 
+    def lookup(self, gpn):
+        """The mapping for ``gpn``, or None if unmapped.
+
+        One dict probe; the scan hot paths use this instead of the
+        ``is_mapped`` + ``mapping`` pair.
+        """
+        return self._table.get(gpn)
+
     def translate(self, gpn):
         """GPN -> PPN."""
         return self.mapping(gpn).ppn
@@ -69,6 +83,7 @@ class VirtualMachine:
         for gpn in range(gpn_start, gpn_start + n_pages):
             if gpn in self._table:
                 self._table[gpn].mergeable = True
+        self._mergeable_gpns = None
 
     # Iteration ------------------------------------------------------------------
 
@@ -77,7 +92,27 @@ class VirtualMachine:
         return [self._table[g] for g in sorted(self._table)]
 
     def mergeable_mappings(self):
-        return [m for m in self.mappings() if m.mergeable]
+        """Mergeable mappings in GPN order.
+
+        The sorted GPN list is cached across calls — the KSM daemon
+        enumerates it at every pass boundary, and re-sorting the full
+        page table each time dominates pass-turnaround cost.  Entries
+        whose flag was cleared in place (poisoning, reclaim) are filtered
+        on the way out.
+        """
+        gpns = self._mergeable_gpns
+        if gpns is None:
+            gpns = self._mergeable_gpns = sorted(
+                g for g, m in self._table.items() if m.mergeable
+            )
+        table_get = self._table.get
+        out = []
+        append = out.append
+        for gpn in gpns:
+            m = table_get(gpn)
+            if m is not None and m.mergeable:
+                append(m)
+        return out
 
     @property
     def n_pages(self):

@@ -1,0 +1,153 @@
+"""Vectorized-vs-scalar bit-for-bit equivalence properties.
+
+Every hot path the bench harness times has a scalar reference
+implementation; these properties pin the vectorized versions to them
+bit-for-bit, so a throughput optimisation can never silently change a
+merge decision, an ECC code, a checksum, or an event dispatch order.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.common.units import PAGE_BYTES
+from repro.core.hashkey import ecc_hash_key
+from repro.ecc.hamming import _encode_words_swar, encode_page, encode_words
+from repro.ksm.compare import compare_pages, compare_pages_scalar
+from repro.ksm.jhash import jhash2, jhash2_batch, page_checksum
+from repro.sim.engine import EventQueue
+
+# Page pairs: a shared prefix of random length, then independent tails —
+# exercises equal pages, early divergence, and deep divergence.
+_page_pairs = st.tuples(
+    st.integers(0, PAGE_BYTES),      # shared prefix length
+    st.integers(0, 2**32 - 1),       # content seed
+    st.booleans(),                   # force-equal pair
+)
+
+
+def _make_pair(prefix_len, seed, equal):
+    rng = np.random.default_rng(seed)
+    a = rng.integers(0, 256, size=PAGE_BYTES, dtype=np.uint8)
+    if equal:
+        return a, a.copy()
+    b = a.copy()
+    tail = rng.integers(0, 256, size=PAGE_BYTES - prefix_len, dtype=np.uint8)
+    b[prefix_len:] = tail
+    return a, b
+
+
+@given(_page_pairs)
+@settings(max_examples=60)
+def test_compare_pages_matches_scalar(params):
+    a, b = _make_pair(*params)
+    assert compare_pages(a, b) == compare_pages_scalar(a, b)
+    assert compare_pages(b, a) == compare_pages_scalar(b, a)
+    # bytes and ndarray inputs agree (the walk fast path passes bytes).
+    assert compare_pages(a.tobytes(), b.tobytes()) == compare_pages(a, b)
+
+
+@given(st.integers(0, 2**32 - 1), st.integers(1, 600))
+@settings(max_examples=40)
+def test_encode_words_matches_swar(seed, n_words):
+    words = np.random.default_rng(seed).integers(
+        0, 2**64, size=n_words, dtype=np.uint64
+    )
+    np.testing.assert_array_equal(
+        encode_words(words), _encode_words_swar(words)
+    )
+
+
+@given(st.integers(0, 2**32 - 1))
+@settings(max_examples=25)
+def test_ecc_hash_key_cached_codes_match_fresh_encode(seed):
+    page = np.random.default_rng(seed).integers(
+        0, 256, size=PAGE_BYTES, dtype=np.uint8
+    )
+    codes = encode_page(page)
+    assert ecc_hash_key(page) == ecc_hash_key(page, codes=codes)
+
+
+@given(st.integers(0, 2**32 - 1), st.integers(1, 12), st.integers(1, 300))
+@settings(max_examples=25)
+def test_jhash2_batch_matches_scalar_rows(seed, n_rows, n_words):
+    rows = np.random.default_rng(seed).integers(
+        0, 2**32, size=(n_rows, n_words), dtype=np.uint32
+    )
+    batch = jhash2_batch(rows, 17)
+    for i in range(n_rows):
+        assert int(batch[i]) == jhash2(rows[i], 17)
+
+
+@given(st.integers(0, 2**32 - 1))
+@settings(max_examples=15)
+def test_page_checksum_is_jhash2_of_window(seed):
+    page = np.random.default_rng(seed).integers(
+        0, 256, size=PAGE_BYTES, dtype=np.uint8
+    )
+    assert page_checksum(page, n_bytes=1024, initval=17) == jhash2(
+        np.ascontiguousarray(page[:1024]).view(np.uint32), 17
+    )
+
+
+# Event times drawn from a tiny grid so ties are common — the property
+# is about FIFO stability under ties, not about ordering distinct times.
+_event_times = st.lists(
+    st.integers(0, 4).map(lambda t: t / 4.0), min_size=0, max_size=60
+)
+
+
+@given(_event_times)
+@settings(max_examples=60)
+def test_schedule_batch_dispatch_order_matches_per_call(times):
+    def dispatch_order(loader):
+        q = EventQueue()
+        order = []
+        loader(q, order)
+        q.run()
+        return order
+
+    def per_call(q, order):
+        for i, t in enumerate(times):
+            q.schedule(t, order.append, (t, i))
+
+    def batched(q, order):
+        q.schedule_batch(
+            (t, order.append, ((t, i),)) for i, t in enumerate(times)
+        )
+
+    def split(q, order):
+        # Half per-call, half batched into a non-empty heap: exercises
+        # the heapify path with the same global sequence numbering.
+        half = len(times) // 2
+        for i, t in enumerate(times[:half]):
+            q.schedule(t, order.append, (t, i))
+        q.schedule_batch(
+            (t, order.append, ((t, half + i),))
+            for i, t in enumerate(times[half:])
+        )
+
+    reference = dispatch_order(per_call)
+    assert dispatch_order(batched) == reference
+    assert dispatch_order(split) == reference
+
+
+@given(_event_times, _event_times)
+@settings(max_examples=30)
+def test_schedule_batch_interleaved_with_run(first, second):
+    """Bulk loads landing mid-run must merge into the live heap."""
+    order = []
+    q = EventQueue()
+
+    def load_second():
+        q.schedule_batch(
+            (q.now + t, order.append, (("second", t, i),))
+            for i, t in enumerate(second)
+        )
+
+    q.schedule(0.0, load_second)
+    for i, t in enumerate(first):
+        q.schedule(t, order.append, ("first", t, i))
+    q.run()
+    assert len(order) == len(first) + len(second)
+    times_seen = [t for _tag, t, _i in order]
+    assert times_seen == sorted(times_seen)
