@@ -8,18 +8,24 @@ Regenerates the robustness evidence for the fault-injection subsystem:
   savings at a 1e-3 per-line fault rate stay within 10% of fault-free
   software KSM instead of collapsing;
 * determinism — a campaign replayed under the same seed produces a
-  bit-identical observable trajectory (fingerprint equality).
+  bit-identical observable trajectory (fingerprint equality);
+* replication — steady-state streaming lag, failover latency and RTO
+  for the primary-backup tier, with failover crash-equivalence as the
+  hard invariant.
 
 Set ``REPRO_BENCH_FAST=1`` for smoke scale.
 """
 
+import dataclasses
 import os
+import time
 
 import pytest
 
 from benchmarks.conftest import run_once
 from repro.analysis import format_fault_campaign
 from repro.faults import FaultPlan, run_fault_campaign, run_fault_suite
+from repro.recovery import ReplicationSession, RunSpec
 
 FAST = bool(int(os.environ.get("REPRO_BENCH_FAST", "0")))
 
@@ -149,3 +155,81 @@ def test_faults_actually_fired(benchmark, suite):
         assert suite["pageforge"].corrected_words > 0
 
     run_once(benchmark, check)
+
+
+# Replication tier ----------------------------------------------------------------
+
+_REPL_SPEC = RunSpec(
+    app="moses", mode="ksm", seed=3,
+    pages_per_vm=30 if FAST else 60, n_vms=3,
+    intervals=4 if FAST else 8, checkpoint_every=2,
+    plan=FaultPlan(seed=3),
+)
+
+
+def test_replication_steady_state_lag(benchmark, tmp_path):
+    """Streaming keeps replicas within one flush batch of the primary."""
+
+    def run():
+        session = ReplicationSession(_REPL_SPEC, tmp_path, n_replicas=2)
+        return session.run()
+
+    out = run_once(benchmark, run)
+    rep = out["replication"]
+    lag = rep["lag_records"]
+    benchmark.extra_info["lag_records"] = lag
+    benchmark.extra_info["records_streamed"] = rep["records_streamed"]
+    # Heartbeats fire right after the interval-commit flush, so steady-
+    # state lag on a quiet link is bounded by in-flight acks (~0).
+    assert lag["p95"] <= _REPL_SPEC.plan.net_lag_frames + 8
+    assert rep["records_streamed"] > 0
+    print(f"\nsteady-state lag (records): mean {lag['mean']:.1f} "
+          f"p95 {lag['p95']:.0f} max {lag['max']:.0f} over "
+          f"{rep['records_streamed']} streamed records")
+
+
+def test_replication_failover_latency_and_rto(benchmark, tmp_path):
+    """Kill the primary mid-run; measure promotion latency and RTO."""
+
+    def run():
+        session = ReplicationSession(_REPL_SPEC, tmp_path, n_replicas=2)
+        t0 = time.monotonic()
+        out = session.run(kill_at_lsns=[20], check_equivalence=True)
+        out["_total_s"] = time.monotonic() - t0
+        return out
+
+    out = run_once(benchmark, run)
+    latency = out["replication"]["failover_latency_s"]
+    benchmark.extra_info["failover_latency_s"] = latency
+    benchmark.extra_info["total_s"] = out["_total_s"]
+    assert out["failovers"] == 1
+    # The invariant, not a timing: the failed-over run is bit-equivalent
+    # to never having crashed.
+    assert out["equivalence"]["equivalent"], out["equivalence"]
+    assert 0.0 < latency["max"] < out["_total_s"]
+    print(f"\nfailover latency (crash -> resumed on promoted replica): "
+          f"{1e3 * latency['max']:.1f} ms; "
+          f"RTO (crash -> run completed): <= {out['_total_s']:.2f} s")
+
+
+def test_replication_lossy_link_converges(benchmark, tmp_path):
+    """A lossy, partitioning link still yields a resumable replica."""
+    plan = FaultPlan.lossy_network(
+        0.10, seed=3, partition_prob=0.02, partition_frames=6
+    )
+    spec = dataclasses.replace(_REPL_SPEC, plan=plan)
+
+    def run():
+        session = ReplicationSession(spec, tmp_path, n_replicas=2)
+        return session.run(kill_at_lsns=[25], check_equivalence=True)
+
+    out = run_once(benchmark, run)
+    net = out["replication"]["net"]
+    benchmark.extra_info["net"] = net
+    assert net["frames_sent"] > 0
+    assert out["equivalence"]["equivalent"], out["equivalence"]
+    dropped = net["frames_dropped"] + net["partition_frames_dropped"]
+    print(f"\nlossy-link campaign: {net['frames_sent']} frames sent, "
+          f"{dropped} dropped, {net['frames_duplicated']} duplicated, "
+          f"{net['frames_reordered']} reordered; failover still "
+          f"crash-equivalent")

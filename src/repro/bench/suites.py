@@ -361,6 +361,68 @@ def bench_e2e_fig7(quick):
     ]
 
 
+# Replication tier --------------------------------------------------------------
+
+
+@suite("replication")
+def bench_replication(quick):
+    """Journal streaming + failover: lag, failover latency, RTO.
+
+    Two in-process sessions: a clean one for steady-state streaming
+    cost and replica lag, and a primary-kill one for failover latency
+    (crash -> promoted replica resumed) and recovery-time-objective
+    (crash -> run completed on the promoted node).  The gated metric is
+    ``failover_equivalent`` — a determinism bit, not a timing: the
+    failed-over run's fingerprint must match the uninterrupted
+    reference on every host, or the replication tier is broken.
+    """
+    import tempfile
+
+    from repro.faults.plan import FaultPlan
+    from repro.recovery import ReplicationSession, RunSpec
+
+    spec = RunSpec(
+        app="moses", mode="ksm", seed=3,
+        pages_per_vm=24 if quick else 48, n_vms=3,
+        intervals=3 if quick else 6, checkpoint_every=2,
+        plan=FaultPlan(seed=3),
+    )
+
+    with tempfile.TemporaryDirectory() as workdir:
+        session = ReplicationSession(spec, workdir, n_replicas=2)
+        clean_ns = measure_once_ns(lambda: session.run())
+        rep = session.monitor.snapshot()
+    records = max(1, rep["records_streamed"])
+    stream_ns = clean_ns / records
+    lag_p95 = rep["lag_records"]["p95"]
+
+    kill_lsn = max(1, records // 2)
+    holder = {}
+
+    def run_failover():
+        with tempfile.TemporaryDirectory() as workdir:
+            failover = ReplicationSession(spec, workdir, n_replicas=2)
+            holder["out"] = failover.run(
+                kill_at_lsns=[kill_lsn], check_equivalence=True
+            )
+
+    rto_ns = measure_once_ns(run_failover)
+    out = holder["out"]
+    failover_s = out["replication"]["failover_latency_s"]["max"]
+    equivalent = float(out["equivalence"]["equivalent"])
+    return [
+        Metric("replication.stream_ns_per_record", stream_ns, "ns/record",
+               higher_is_better=False),
+        Metric("replication.steady_lag_p95_records", lag_p95, "records",
+               higher_is_better=False),
+        Metric("replication.failover_latency_ns", failover_s * 1e9, "ns",
+               higher_is_better=False),
+        Metric("replication.rto_ns", rto_ns, "ns", higher_is_better=False),
+        Metric("replication.failover_equivalent", equivalent, "bool",
+               gate=True),
+    ]
+
+
 @suite("e2e_fig9")
 def bench_e2e_fig9(quick):
     """One short Figure 9 latency experiment (all three modes)."""

@@ -19,6 +19,7 @@ Every command accepts ``--csv PATH`` / ``--json PATH`` to export rows.
 """
 
 import argparse
+import json
 import sys
 
 from repro.analysis import (
@@ -244,6 +245,69 @@ def cmd_supervise(args):
     return 0 if clean else 1
 
 
+def cmd_replicate(args):
+    """Replicated recovery tier: primary-backup streaming + failover.
+
+    ``--worker`` is the internal child entry the supervisor spawns (the
+    primary process); the parent hosts the replicas, the chaos links
+    and the failover loop.
+    """
+    import dataclasses
+
+    from repro.faults import FaultPlan
+    from repro.recovery import ReplicatedSupervisor, RunSpec
+    from repro.recovery.replication.cluster import run_primary_worker
+
+    if args.worker:
+        return run_primary_worker(args.workdir, args.attempt, args.connect)
+
+    plan = FaultPlan.uniform(args.rate, seed=args.seed, churn=True)
+    plan = dataclasses.replace(
+        plan,
+        process_crash_prob=args.crash_prob,
+        crash_after_ops=args.kill_after_ops,
+        net_drop_rate=args.net_drop,
+        net_duplicate_rate=args.net_duplicate,
+        net_reorder_rate=args.net_reorder,
+        net_lag_frames=args.net_lag,
+        partition_prob=args.partition_prob,
+        partition_frames=args.partition_frames,
+    )
+    spec = RunSpec(
+        app=args.app, mode=args.mode, seed=args.seed,
+        pages_per_vm=args.pages_per_vm, n_vms=args.vms,
+        intervals=args.intervals,
+        checkpoint_every=args.checkpoint_every, plan=plan,
+    )
+    supervisor = ReplicatedSupervisor(
+        args.workdir, spec=spec, n_replicas=args.replicas,
+        max_attempts=args.max_attempts, stall_timeout=args.stall_timeout,
+    )
+    outcome = supervisor.run(check_equivalence=args.check_equivalence)
+    print(json.dumps(
+        {
+            k: outcome[k]
+            for k in ("completed", "attempts", "crashes", "stalls_killed",
+                      "failovers", "promoted", "final_workdir",
+                      "exit_codes")
+        },
+        indent=2, sort_keys=True,
+    ))
+    rep = outcome["replication"]
+    print(f"primary LSN {rep['primary_lsn']}, "
+          f"{rep['records_streamed']} records / "
+          f"{rep['checkpoints_streamed']} checkpoints streamed, "
+          f"lag p95 {rep['lag_records']['p95']:.0f} records")
+    if not outcome["completed"]:
+        return 1
+    validation = outcome["result"]["validation"]
+    clean = validation["auditor_clean"] and validation["zero_false_merges"]
+    if outcome["equivalence"] is not None:
+        print("equivalent:", outcome["equivalence"]["equivalent"])
+        clean &= outcome["equivalence"]["equivalent"]
+    return 0 if clean else 1
+
+
 def cmd_demo(args):
     from repro import quick_merge_demo
 
@@ -430,6 +494,54 @@ def build_parser():
     p.add_argument("--attempt", type=int, default=0,
                    help=argparse.SUPPRESS)
     p.set_defaults(func=cmd_supervise)
+
+    p = sub.add_parser(
+        "replicate",
+        help="replicated recovery tier: streamed journal, heartbeat "
+             "failover, partition chaos",
+    )
+    p.add_argument("--workdir", required=True,
+                   help="cluster directory (primary + replica workdirs)")
+    p.add_argument("--app", default="moses", choices=list(TAILBENCH_APPS))
+    p.add_argument("--mode", default="pageforge",
+                   choices=list(recoverable_backends()))
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--replicas", type=int, default=2)
+    p.add_argument("--pages-per-vm", type=int, default=60)
+    p.add_argument("--vms", type=int, default=3)
+    p.add_argument("--intervals", type=int, default=8)
+    p.add_argument("--checkpoint-every", type=int, default=2)
+    p.add_argument("--rate", type=float, default=0.0,
+                   help="per-line fault rate for the uniform plan")
+    p.add_argument("--crash-prob", type=float, default=0.0,
+                   help="per-interval probability of primary death")
+    p.add_argument("--kill-after-ops", type=int, default=0,
+                   help="kill the primary once the N-th journaled op "
+                        "lands (0 = off)")
+    p.add_argument("--net-drop", type=float, default=0.0,
+                   help="per-frame replication drop rate")
+    p.add_argument("--net-duplicate", type=float, default=0.0,
+                   help="per-frame replication duplicate rate")
+    p.add_argument("--net-reorder", type=float, default=0.0,
+                   help="per-frame replication reorder rate")
+    p.add_argument("--net-lag", type=int, default=0,
+                   help="store-and-forward depth per link (frames)")
+    p.add_argument("--partition-prob", type=float, default=0.0,
+                   help="per-frame probability a link partitions")
+    p.add_argument("--partition-frames", type=int, default=16,
+                   help="frames lost per partition before rejoin")
+    p.add_argument("--max-attempts", type=int, default=5)
+    p.add_argument("--stall-timeout", type=float, default=30.0,
+                   help="seconds of stream silence before SIGKILL")
+    p.add_argument("--check-equivalence", action="store_true",
+                   help="replay uninterrupted and compare fingerprints")
+    p.add_argument("--worker", action="store_true",
+                   help=argparse.SUPPRESS)
+    p.add_argument("--attempt", type=int, default=0,
+                   help=argparse.SUPPRESS)
+    p.add_argument("--connect", default="",
+                   help=argparse.SUPPRESS)
+    p.set_defaults(func=cmd_replicate)
 
     p = sub.add_parser("demo", help="30-second merge demo")
     p.add_argument("--vms", type=int, default=2)

@@ -59,19 +59,52 @@ class FaultInjectionStats:
         return {f.name: getattr(self, f.name) for f in fields(self)}
 
 
+@dataclass
+class NetworkFaultStats:
+    """What the chaos transport links actually did, across all links.
+
+    Kept separate from :class:`FaultInjectionStats` on purpose: the
+    recovery fingerprint folds the injector's merge-visible stats in,
+    and transport faults never touch merge state — a dropped frame must
+    not change the fingerprint of an otherwise identical run.
+    """
+
+    frames_sent: int = 0
+    frames_delivered: int = 0
+    frames_dropped: int = 0
+    frames_duplicated: int = 0
+    frames_reordered: int = 0
+    partitions_started: int = 0
+    partitions_healed: int = 0
+    partition_frames_dropped: int = 0
+
+    def snapshot(self):
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+
 class FaultInjector:
     """Wires one :class:`FaultPlan` into a controller and an engine."""
 
     def __init__(self, plan):
         self.plan = plan
         self.stats = FaultInjectionStats()
-        root = DeterministicRNG(plan.seed, "faults")
-        self._line_rng = root.derive("line")
-        self._walk_rng = root.derive("walk")
-        self._vm_rng = root.derive("vm")
+        self.net_stats = NetworkFaultStats()
+        self._root = DeterministicRNG(plan.seed, "faults")
+        self._line_rng = self._root.derive("line")
+        self._walk_rng = self._root.derive("walk")
+        self._vm_rng = self._root.derive("vm")
         self._crash_rng = None
         self._controller = None
         self._engine = None
+
+    def net_rng(self, link_name):
+        """The dedicated fault stream for one replication link.
+
+        Each link (primary -> replica-N) draws from its own named
+        stream, so adding or removing a replica never perturbs the
+        chaos schedule of the others.
+        """
+        return self._root.derive(f"net/{link_name}")
 
     # Attachment -----------------------------------------------------------------
 

@@ -31,6 +31,19 @@ Fault classes, mapped to the hardware they model:
 ``crash_after_ops``    Deterministic kill switch: die once the N-th
                        journaled merge op lands (0 = disabled).  Only
                        armed on the first attempt, so restarts survive.
+``net_drop_rate``      A replication frame vanishes on the wire between
+                       the primary and one replica (lossy link).
+``net_duplicate_rate`` A frame is delivered twice (retransmit glitch);
+                       replicas must deduplicate by LSN.
+``net_reorder_rate``   A frame is held back and delivered after its
+                       successor (cross-path reordering).
+``net_lag_frames``     Fixed store-and-forward depth per link: every
+                       frame arrives this many sends late — the
+                       lagging-replica scenario.
+``partition_prob``     Per-frame probability that the link partitions:
+                       the next ``partition_frames`` frames are lost,
+                       then the link heals (rejoin).  The replica
+                       resynchronises from the next checkpoint frame.
 =====================  ========================================================
 """
 
@@ -59,6 +72,14 @@ class FaultPlan:
     # Whole-process death, realised by the recovery subsystem.
     process_crash_prob: float = 0.0
     crash_after_ops: int = 0
+    # Per-frame replication-transport faults (mutually exclusive per
+    # frame, like the line classes; their sum must stay below 1).
+    net_drop_rate: float = 0.0
+    net_duplicate_rate: float = 0.0
+    net_reorder_rate: float = 0.0
+    net_lag_frames: int = 0
+    partition_prob: float = 0.0
+    partition_frames: int = 16
 
     def __post_init__(self):
         total = self.line_fault_rate
@@ -68,6 +89,17 @@ class FaultPlan:
             raise ValueError(
                 f"crash_after_ops must be >= 0: {self.crash_after_ops}"
             )
+        if self.net_lag_frames < 0:
+            raise ValueError(
+                f"net_lag_frames must be >= 0: {self.net_lag_frames}"
+            )
+        if self.partition_frames < 0:
+            raise ValueError(
+                f"partition_frames must be >= 0: {self.partition_frames}"
+            )
+        net_total = self.net_fault_rate
+        if not 0.0 <= net_total < 1.0:
+            raise ValueError(f"per-frame net fault rates sum to {net_total}")
         for name in (
             "table_corruption_rate", "vm_destroy_prob",
             "unmerge_churn_prob", "process_crash_prob",
@@ -85,6 +117,16 @@ class FaultPlan:
             + self.silent_rate
             + self.drop_rate
             + self.latency_spike_rate
+        )
+
+    @property
+    def net_fault_rate(self):
+        """Total probability that one replication frame is affected."""
+        return (
+            self.net_drop_rate
+            + self.net_duplicate_rate
+            + self.net_reorder_rate
+            + self.partition_prob
         )
 
     @classmethod
@@ -113,4 +155,24 @@ class FaultPlan:
             table_corruption_rate=rate if table_rate is None else table_rate,
             vm_destroy_prob=0.05 if churn else 0.0,
             unmerge_churn_prob=0.30 if churn else 0.0,
+        )
+
+    @classmethod
+    def lossy_network(cls, rate, seed=0, lag=0, partition_prob=0.0,
+                      partition_frames=16):
+        """A transport-only plan for replication chaos campaigns.
+
+        The per-frame rate splits 60% drops / 20% duplicates / 20%
+        reorders (loss dominates on a congested loopback path); the
+        merging stack itself runs fault-free so the campaign isolates
+        the replication tier.
+        """
+        return cls(
+            seed=seed,
+            net_drop_rate=0.60 * rate,
+            net_duplicate_rate=0.20 * rate,
+            net_reorder_rate=0.20 * rate,
+            net_lag_frames=lag,
+            partition_prob=partition_prob,
+            partition_frames=partition_frames,
         )

@@ -8,7 +8,9 @@
                  tail recovery and lockstep divergence detection;
 ``runner``     — :class:`RecoverableRun`, the checkpointable merge loop
                  whose resume is bit-identical to never having crashed;
-``supervisor`` — the watchdog parent process (`repro supervise`).
+``supervisor`` — the watchdog parent process (`repro supervise`);
+``replication`` — journal-streaming primary-backup replicas, heartbeat
+                 failover and chaos transport (`repro replicate`).
 """
 
 from repro.recovery.journal import (
@@ -17,6 +19,11 @@ from repro.recovery.journal import (
     RecoveryDivergence,
     read_journal,
     replay_journal,
+)
+from repro.recovery.replication import (
+    ReplicatedSupervisor,
+    ReplicationMonitor,
+    ReplicationSession,
 )
 from repro.recovery.runner import RecoverableRun, RunSpec, run_to_completion
 from repro.recovery.snapshot import (
@@ -34,6 +41,9 @@ __all__ = [
     "MergeJournal",
     "RecoverableRun",
     "RecoveryDivergence",
+    "ReplicatedSupervisor",
+    "ReplicationMonitor",
+    "ReplicationSession",
     "RunSpec",
     "Supervisor",
     "SupervisorOutcome",

@@ -63,10 +63,14 @@ def encode_record(record):
 def read_journal(path):
     """Load all valid records; returns (records, dropped_tail_lines).
 
-    Only the *final* line may legitimately be damaged (torn by a crash
-    mid-write); a bad checksum earlier in the file raises
-    :class:`JournalCorrupt` since it means silent corruption, not a torn
-    tail.
+    Only a *torn tail* may legitimately be damaged: a crash mid-write
+    cuts the final record short, and since ``json.dumps`` never emits a
+    raw newline inside a record, a torn record is always missing its
+    trailing ``\\n``.  A record that is newline-complete but fails its
+    checksum — at the end of the file or anywhere before it — is silent
+    corruption and raises :class:`JournalCorrupt`.  This matters for
+    replica-received journals: a lossy transport must surface damage,
+    not launder it as an innocent torn tail.
     """
     path = Path(path)
     if not path.exists():
@@ -82,18 +86,21 @@ def read_journal(path):
     dropped = 0
     for i, line in enumerate(lines):
         is_last = i == len(lines) - 1
+        torn_candidate = is_last and not trailing_newline
         try:
             record = json.loads(line.decode("utf-8"))
+            if not isinstance(record, dict):
+                raise ValueError("record is not an object")
             if record.get("crc") != _record_crc(record):
                 raise ValueError("crc mismatch")
         except (UnicodeDecodeError, ValueError):
-            if is_last:
+            if torn_candidate:
                 dropped += 1
                 break
             raise JournalCorrupt(
                 f"{path}: corrupt record at line {i + 1}"
             ) from None
-        if is_last and not trailing_newline:
+        if torn_candidate:
             # A complete-looking record without its newline is still a
             # torn write; the bytes may coincide with valid JSON only by
             # luck, but a valid crc makes it trustworthy — keep it.
@@ -124,6 +131,12 @@ class MergeJournal:
         # After each appended record the journal calls op_hook(seq);
         # the recoverable runner points this at its crash trigger.
         self.op_hook = None
+        # After each *durable* batch the journal hands every flushed
+        # record (encoded line bytes) to sink(line); the replication
+        # streamer points this at the wire.  Durability-ordering
+        # matters: a record is only streamed once it is fsynced here,
+        # so replicas can never hold a record the primary might lose.
+        self.sink = None
         self.ops_journaled = 0
         self.ops_verified = 0
         self.fsyncs = 0
@@ -147,10 +160,14 @@ class MergeJournal:
         if self._fd is None or not self._pending:
             self._pending.clear()
             return
-        os.write(self._fd, b"".join(self._pending))
+        batch = self._pending
+        self._pending = []
+        os.write(self._fd, b"".join(batch))
         os.fsync(self._fd)
         self.fsyncs += 1
-        self._pending.clear()
+        if self.sink is not None:
+            for line in batch:
+                self.sink(line)
 
     def simulate_crash(self, torn=False):
         """Die like a SIGKILL: drop the unflushed batch buffer.

@@ -1,0 +1,323 @@
+"""The replicated supervisor: real processes, real sockets, real SIGKILL.
+
+``session.py`` proves the mechanism in one deterministic process; this
+module is the harness that proves it against actual process death.  The
+topology:
+
+* the **worker** (``repro replicate --worker``) is the primary: it
+  builds or resumes a :class:`RecoverableRun`, connects back to the
+  supervisor over a loopback TCP socket, and streams protocol frames
+  through a :class:`JournalStreamer`.  An injected
+  :class:`ProcessCrash` becomes a hard ``os._exit`` — no buffered
+  journal bytes, no atexit graces — and the supervisor's stall watchdog
+  delivers genuine ``SIGKILL``;
+* the **supervisor** holds the replicas.  Frames arriving on the socket
+  pass through one :class:`ChaosLink` per replica (partition, drop,
+  duplicate, reorder, lag) before installation, so the chaos campaign
+  runs against the real byte stream;
+* liveness is in-stream: any frame arrival restamps the worker's
+  last-seen monotonic time, and heartbeat frames flow every interval.
+  Silence beyond ``stall_timeout`` means SIGKILL — a hung primary is
+  dead, it just does not know it yet;
+* on worker death the supervisor elects (max durable LSN, lowest id on
+  ties), promotes the winner's workdir to primary, and respawns the
+  worker there with ``--attempt N+1``.  Promotion is
+  :meth:`RecoverableRun.resume` — the same code path the single-node
+  supervisor trusts.
+
+The worker socket is one-directional (worker -> supervisor); acks are
+computed supervisor-side where the replicas live.  That keeps the
+worker oblivious to replication — it cannot block on a slow replica,
+which is the availability point of asynchronous primary-backup.
+"""
+
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+from repro.common.io import atomic_write_text
+from repro.faults.injector import FaultInjector, ProcessCrash
+from repro.recovery.runner import RecoverableRun, RunSpec
+from repro.recovery.supervisor import CRASH_EXIT_CODE
+from repro.recovery.replication.monitor import ReplicationMonitor
+from repro.recovery.replication.protocol import FrameCorrupt, FrameDecoder, \
+    encode_frame, eof_frame
+from repro.recovery.replication.replica import ReplicaState
+from repro.recovery.replication.session import JournalStreamer
+from repro.recovery.replication.transport import ChaosLink
+from repro.sim.metrics import MetricsRegistry
+
+
+def run_primary_worker(workdir, attempt, connect):
+    """Child-process entry for ``repro replicate --worker``.
+
+    ``connect`` is ``host:port`` of the supervisor's frame listener.
+    Returns the exit code; injected crashes hard-exit like the
+    single-node worker does.
+    """
+    workdir = Path(workdir)
+    host, _, port = connect.rpartition(":")
+    sock = socket.create_connection((host, int(port)), timeout=30.0)
+    try:
+        if attempt == 0:
+            spec = RunSpec.from_json((workdir / "spec.json").read_text())
+            run = RecoverableRun(spec, workdir, attempt=0)
+        else:
+            run = RecoverableRun.resume(workdir, attempt=attempt)
+
+        def send(frame):
+            sock.sendall(encode_frame(frame))
+
+        streamer = JournalStreamer(run, send)
+        try:
+            streamer.stream_attempt()
+        except ProcessCrash:
+            os._exit(CRASH_EXIT_CODE)
+        return 0
+    finally:
+        sock.close()
+
+
+class ReplicatedSupervisor:
+    """Spawns/watches primary workers; hosts replicas; fails over."""
+
+    def __init__(self, clusterdir, spec=None, n_replicas=2, max_attempts=5,
+                 stall_timeout=30.0, poll_interval=0.1):
+        self.clusterdir = Path(clusterdir)
+        self.clusterdir.mkdir(parents=True, exist_ok=True)
+        self.primary_dir = self.clusterdir / "primary"
+        self.primary_dir.mkdir(parents=True, exist_ok=True)
+        if spec is not None:
+            atomic_write_text(self.primary_dir / "spec.json", spec.to_json())
+        self.spec = RunSpec.from_json(
+            (self.primary_dir / "spec.json").read_text()
+        )
+        self.max_attempts = int(max_attempts)
+        self.stall_timeout = float(stall_timeout)
+        self.poll_interval = float(poll_interval)
+        self.net_injector = FaultInjector(self.spec.plan)
+        self.monitor = ReplicationMonitor()
+        self.registry = MetricsRegistry()
+        self.monitor.register_with(self.registry)
+        self.replicas = []
+        self.links = {}
+        for i in range(int(n_replicas)):
+            replica = ReplicaState(
+                f"replica-{i}", self.clusterdir / f"replica-{i}",
+                keep_checkpoints=self.spec.keep_checkpoints,
+            )
+            atomic_write_text(
+                replica.workdir / "spec.json", self.spec.to_json()
+            )
+            self.replicas.append(replica)
+            self.links[replica.replica_id] = ChaosLink(
+                self.net_injector, replica.replica_id
+            )
+        self.monitor.attach(
+            net_stats=self.net_injector.net_stats, replicas=self.replicas
+        )
+
+    # Worker lifecycle --------------------------------------------------------------
+
+    def _spawn(self, workdir, attempt, port):
+        env = dict(os.environ)
+        src_root = str(Path(__file__).resolve().parents[3])
+        parts = env.get("PYTHONPATH", "").split(os.pathsep)
+        if src_root not in parts:
+            env["PYTHONPATH"] = os.pathsep.join(
+                [src_root] + [p for p in parts if p]
+            )
+        return subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "replicate",
+                "--worker", "--workdir", str(workdir),
+                "--attempt", str(attempt),
+                "--connect", f"127.0.0.1:{port}",
+            ],
+            env=env,
+        )
+
+    def _apply(self, frame):
+        self.monitor.observe_frame(frame)
+        if frame["kind"] == "heartbeat":
+            self.monitor.sample_lag([r.replica_id for r in self.replicas])
+        for replica in self.replicas:
+            link = self.links[replica.replica_id]
+            for delivered in link.send(frame):
+                ack = replica.apply(delivered)
+                if ack is not None:
+                    self.monitor.observe_ack(ack)
+
+    def _watch_attempt(self, workdir, attempt, listener):
+        """One worker's lifetime; returns (exit_code, stalled)."""
+        port = listener.getsockname()[1]
+        proc = self._spawn(workdir, attempt, port)
+        conn = None
+        decoder = FrameDecoder()
+        last_seen = time.monotonic()
+        stalled = False
+        try:
+            while True:
+                if conn is None:
+                    listener.settimeout(self.poll_interval)
+                    try:
+                        conn, _addr = listener.accept()
+                        conn.settimeout(self.poll_interval)
+                        last_seen = time.monotonic()
+                    except socket.timeout:
+                        pass
+                else:
+                    try:
+                        data = conn.recv(1 << 16)
+                        if data:
+                            last_seen = time.monotonic()
+                            for frame in decoder.feed(data):
+                                self._apply(frame)
+                        else:
+                            conn.close()
+                            conn = None
+                            rc = proc.wait()
+                            return rc, stalled
+                    except socket.timeout:
+                        pass
+                rc = proc.poll()
+                if rc is not None and conn is None:
+                    return rc, stalled
+                if rc is not None and conn is not None:
+                    # Dead worker: drain whatever the kernel buffered
+                    # before it died, then report.
+                    conn.settimeout(0.5)
+                    try:
+                        while True:
+                            data = conn.recv(1 << 16)
+                            if not data:
+                                break
+                            for frame in decoder.feed(data):
+                                self._apply(frame)
+                    except (socket.timeout, OSError, FrameCorrupt):
+                        pass
+                    conn.close()
+                    conn = None
+                    return rc, stalled
+                if time.monotonic() - last_seen > self.stall_timeout:
+                    proc.send_signal(signal.SIGKILL)
+                    proc.wait()
+                    stalled = True
+                    last_seen = time.monotonic()
+        finally:
+            if conn is not None:
+                conn.close()
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+
+    # Failover ----------------------------------------------------------------------
+
+    def _elect(self):
+        if not self.replicas:
+            return None
+        from repro.recovery.replication.session import _id_order
+        return max(
+            self.replicas,
+            key=lambda r: (r.durable_lsn, _id_order(r.replica_id)),
+        )
+
+    def _promote(self, crash_mono):
+        promoted = self._elect()
+        if promoted is None:
+            self.monitor.record_failover("<self>", crash_mono)
+            return self.primary_dir
+        promoted.close()
+        self.replicas.remove(promoted)
+        self.links.pop(promoted.replica_id)
+        self.primary_dir = promoted.workdir
+        self.monitor.record_failover(promoted.replica_id, crash_mono)
+        return promoted.workdir
+
+    # Main loop ---------------------------------------------------------------------
+
+    def run(self, check_equivalence=False):
+        outcome = {
+            "completed": False,
+            "attempts": 0,
+            "crashes": 0,
+            "stalls_killed": 0,
+            "exit_codes": [],
+            "promoted": [],
+            "result": None,
+            "equivalence": None,
+        }
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(1)
+        workdir = self.primary_dir
+        try:
+            for attempt in range(self.max_attempts):
+                outcome["attempts"] = attempt + 1
+                rc, stalled = self._watch_attempt(
+                    workdir, attempt, listener
+                )
+                outcome["exit_codes"].append(rc)
+                if rc == 0:
+                    outcome["completed"] = True
+                    break
+                if stalled:
+                    outcome["stalls_killed"] += 1
+                else:
+                    outcome["crashes"] += 1
+                workdir = self._promote(time.monotonic())
+        finally:
+            listener.close()
+        self._finalize()
+        outcome["promoted"] = list(self.monitor.promoted)
+        outcome["failovers"] = self.monitor.failovers
+        outcome["final_workdir"] = str(workdir)
+        outcome["replication"] = self.monitor.snapshot()
+        outcome["metrics"] = self.registry.snapshot()
+        if outcome["completed"]:
+            outcome["result"] = json.loads(
+                (workdir / "result.json").read_text()
+            )
+            if check_equivalence:
+                outcome["equivalence"] = self.check_equivalence(
+                    outcome["result"]
+                )
+        atomic_write_text(
+            self.clusterdir / "outcome.json",
+            json.dumps(outcome, sort_keys=True, indent=2),
+        )
+        return outcome
+
+    def _finalize(self):
+        final_lsn = self.monitor.primary_lsn
+        for replica in self.replicas:
+            link = self.links[replica.replica_id]
+            for delivered in link.drain():
+                ack = replica.apply(delivered)
+                if ack is not None:
+                    self.monitor.observe_ack(ack)
+            if not replica.eof_seen:
+                ack = replica.apply(eof_frame(final_lsn))
+                if ack is not None:
+                    self.monitor.observe_ack(ack)
+            replica.close()
+
+    def check_equivalence(self, result):
+        ref_run = RecoverableRun(
+            self.spec.without_crashes(), self.clusterdir / "_reference",
+            attempt=0,
+        )
+        ref_result = ref_run.run()
+        return {
+            "fingerprint": result["fingerprint"],
+            "reference_fingerprint": ref_result["fingerprint"],
+            "equivalent": (
+                result["fingerprint"] == ref_result["fingerprint"]
+            ),
+            "reference_validation": ref_result["validation"],
+        }

@@ -1,0 +1,379 @@
+"""In-process primary-backup replication with deterministic failover.
+
+:class:`JournalStreamer` taps a :class:`~repro.recovery.runner.
+RecoverableRun` at its three durability points — the journal's
+post-fsync batch sink, the checkpoint store's ``save`` and the
+per-interval heartbeat — and turns each into protocol frames.  The
+ordering guarantee is **fsync-then-stream**: a record reaches the wire
+only after it is durable at the primary, so no replica can ever hold a
+record the primary might lose, and the set of records a crash destroys
+is identical at every node (modulo transport loss, which only shrinks
+it further).
+
+:class:`ReplicationSession` runs the whole tier in one process — the
+primary run, a :class:`~repro.recovery.replication.transport.ChaosLink`
+per replica, and the replicas' durable state — which makes chaos
+campaigns deterministic and fast.  Failover is the heart of it:
+
+1. the primary dies (an injected :class:`ProcessCrash` at a target LSN,
+   a checkpoint-publish boundary, or the plan's ``crash_after_ops``);
+2. the election picks the replica with the highest ``durable_lsn``
+   (ties break to the lowest replica id) — deterministic, no quorum
+   theatre needed for a primary-backup pair;
+3. the promoted replica's workdir — journal + checkpoints, maintained
+   entirely from streamed frames — is handed to
+   :meth:`RecoverableRun.resume`, which restores, lockstep-verifies and
+   continues.  Promotion *is* resume; there is no special replica code
+   path to get wrong.
+
+Because resume-by-re-execution is bit-deterministic, the completed
+failover run's fingerprint equals the uninterrupted reference run's —
+the same crash-equivalence guarantee the single-node tier makes, now
+surviving the death of the node itself.
+
+The process-tree variant (real SIGKILL, sockets) lives in
+``cluster.py``; this module is the mechanism, that one is the harness.
+"""
+
+import time
+from pathlib import Path
+
+from repro.common.io import atomic_write_text
+from repro.faults.injector import FaultInjector, ProcessCrash
+from repro.recovery.journal import read_journal
+from repro.recovery.runner import RecoverableRun
+from repro.recovery.snapshot import CheckpointCorrupt, load_checkpoint
+from repro.recovery.replication.monitor import ReplicationMonitor
+from repro.recovery.replication.protocol import (
+    checkpoint_frame,
+    encode_record_line,
+    eof_frame,
+    heartbeat_frame,
+    hello_frame,
+    record_frame,
+)
+from repro.recovery.replication.replica import ReplicaState
+from repro.recovery.replication.transport import ChaosLink
+from repro.sim.metrics import MetricsRegistry
+
+
+class JournalStreamer:
+    """Taps one run's durability points and emits protocol frames."""
+
+    def __init__(self, run, send, on_checkpoint=None):
+        self.run = run
+        self.send = send
+        self.on_checkpoint = on_checkpoint
+        self._saved_save = None
+        self._saved_heartbeat = False
+        self._attached = False
+
+    # Attach / detach ---------------------------------------------------------------
+
+    def attach(self):
+        run = self.run
+        streamer = self
+
+        def sink(line_bytes):
+            streamer.send(record_frame(
+                line_bytes.decode("utf-8").rstrip("\n")
+            ))
+
+        run.journal.sink = sink
+
+        store = run.store
+        inner_save = store.save
+        self._saved_save = store.__dict__.get("save")
+
+        def streaming_save(step, state, journal_seq=0, meta=None):
+            path = inner_save(step, state, journal_seq=journal_seq,
+                              meta=meta)
+            if streamer.on_checkpoint is not None:
+                streamer.on_checkpoint(step, "published")
+            streamer.send(checkpoint_frame(
+                step, journal_seq, Path(path).read_bytes()
+            ))
+            if streamer.on_checkpoint is not None:
+                streamer.on_checkpoint(step, "streamed")
+            return path
+
+        store.save = streaming_save
+
+        inner_heartbeat = run.heartbeat
+
+        def streaming_heartbeat(interval):
+            inner_heartbeat(interval)
+            streamer.send(heartbeat_frame(
+                run.journal.seq, interval, time.monotonic()
+            ))
+
+        run.heartbeat = streaming_heartbeat
+        self._saved_heartbeat = True
+        self._attached = True
+        return self
+
+    def detach(self):
+        if not self._attached:
+            return
+        self.run.journal.sink = None
+        store = self.run.store
+        if self._saved_save is None:
+            store.__dict__.pop("save", None)
+        else:
+            store.save = self._saved_save
+        if self._saved_heartbeat:
+            self.run.__dict__.pop("heartbeat", None)
+        self._attached = False
+
+    # Catch-up ----------------------------------------------------------------------
+
+    def catch_up(self):
+        """Re-stream the run's existing durable history.
+
+        A (re)started primary's journal and newest valid checkpoint go
+        out first, so a fresh or lagging replica converges before new
+        records flow; replicas deduplicate by LSN, so overlap with what
+        they already hold is harmless.
+        """
+        run = self.run
+        records, _dropped = read_journal(run.journal.path)
+        for record in records:
+            self.send(record_frame(encode_record_line(record)))
+        for step in reversed(run.store.steps()):
+            path = run.store.path_for(step)
+            try:
+                _state, header = load_checkpoint(path)
+            except (CheckpointCorrupt, OSError):
+                continue
+            self.send(checkpoint_frame(
+                step, header["journal_seq"], path.read_bytes()
+            ))
+            break
+
+    # One streamed attempt ----------------------------------------------------------
+
+    def stream_attempt(self):
+        """hello -> catch-up -> run -> eof; returns the run's result."""
+        run = self.run
+        self.send(hello_frame(run.spec.to_json(), run.attempt, 0))
+        self.catch_up()
+        self.attach()
+        try:
+            result = run.run()
+        finally:
+            self.detach()
+        self.send(eof_frame(run.journal.seq))
+        return result
+
+
+class ReplicationSession:
+    """Primary + N replicas + chaos links, all in one process."""
+
+    def __init__(self, spec, workdir, n_replicas=2, registry=None):
+        self.spec = spec
+        self.workdir = Path(workdir)
+        self.workdir.mkdir(parents=True, exist_ok=True)
+        self.primary_dir = self.workdir / "primary"
+        # The net streams come from their own injector so the primary
+        # run's merge-fault schedule is untouched by transport chaos.
+        self.net_injector = FaultInjector(spec.plan)
+        self.monitor = ReplicationMonitor()
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.monitor.register_with(self.registry)
+        self.replicas = []
+        self.links = {}
+        for i in range(int(n_replicas)):
+            replica = ReplicaState(
+                f"replica-{i}", self.workdir / f"replica-{i}",
+                keep_checkpoints=spec.keep_checkpoints,
+            )
+            # The spec lands on disk at join time, not via a droppable
+            # hello frame: promotion must never depend on delivery.
+            atomic_write_text(replica.workdir / "spec.json", spec.to_json())
+            self.replicas.append(replica)
+            self.links[replica.replica_id] = ChaosLink(
+                self.net_injector, replica.replica_id
+            )
+        self.monitor.attach(
+            net_stats=self.net_injector.net_stats, replicas=self.replicas
+        )
+        self.crashes = 0
+
+    # Fan-out -----------------------------------------------------------------------
+
+    def _send_to_all(self, frame):
+        self.monitor.observe_frame(frame)
+        if frame["kind"] == "heartbeat":
+            self.monitor.sample_lag(
+                [r.replica_id for r in self.replicas]
+            )
+        for replica in self.replicas:
+            link = self.links[replica.replica_id]
+            for delivered in link.send(frame):
+                ack = replica.apply(delivered)
+                if ack is not None:
+                    self.monitor.observe_ack(ack)
+
+    def _drain_links(self):
+        for replica in self.replicas:
+            link = self.links[replica.replica_id]
+            for delivered in link.drain():
+                ack = replica.apply(delivered)
+                if ack is not None:
+                    self.monitor.observe_ack(ack)
+
+    # Election ----------------------------------------------------------------------
+
+    def elect(self):
+        """The failover rule: highest durable LSN, ties to lowest id.
+
+        Deterministic by construction — both criteria are totally
+        ordered — so every observer of the same replica states promotes
+        the same node.
+        """
+        if not self.replicas:
+            return None
+        return max(
+            self.replicas,
+            key=lambda r: (r.durable_lsn, _id_order(r.replica_id)),
+        )
+
+    # Main loop ---------------------------------------------------------------------
+
+    def run(self, kill_at_lsns=(), kill_at_checkpoint=None,
+            max_attempts=8, check_equivalence=False):
+        """Run to completion through any number of failovers.
+
+        ``kill_at_lsns``: the primary raises :class:`ProcessCrash` as
+        soon as its journal seq reaches each target (append mode only —
+        re-verification of old ground never re-kills).
+        ``kill_at_checkpoint``: ``(step, phase)`` with phase
+        ``"published"`` (checkpoint durable locally, not yet streamed)
+        or ``"streamed"`` — the kill-during-checkpoint-publish cases.
+        The plan's own ``crash_after_ops``/``process_crash_prob`` work
+        too, exactly as under the single-node supervisor.
+        """
+        pending_lsns = sorted(int(t) for t in kill_at_lsns)
+        pending_ckpt = (
+            list(kill_at_checkpoint) if kill_at_checkpoint else None
+        )
+        run = RecoverableRun(self.spec, self.primary_dir, attempt=0)
+        result = None
+        for attempt in range(int(max_attempts)):
+            self._arm_lsn_kills(run, pending_lsns)
+            streamer = JournalStreamer(
+                run, self._send_to_all,
+                on_checkpoint=self._ckpt_kill_hook(pending_ckpt),
+            )
+            try:
+                result = streamer.stream_attempt()
+                break
+            except ProcessCrash:
+                self.crashes += 1
+                crash_mono = time.monotonic()
+                streamer.detach()
+                run.journal.op_hook = None
+                run.journal.detach()
+                run.journal.simulate_crash()
+                run = self._fail_over(attempt + 1, crash_mono)
+        else:
+            raise RuntimeError(
+                f"replication session did not complete within "
+                f"{max_attempts} attempts"
+            )
+        self._finalize()
+        out = {
+            "result": result,
+            "crashes": self.crashes,
+            "failovers": self.monitor.failovers,
+            "promoted": list(self.monitor.promoted),
+            "final_workdir": str(run.workdir),
+            "replication": self.monitor.snapshot(),
+            "metrics": self.registry.snapshot(),
+        }
+        if check_equivalence:
+            out["equivalence"] = self.check_equivalence(result)
+        return out
+
+    def _arm_lsn_kills(self, run, pending_lsns):
+        if not pending_lsns:
+            return
+
+        journal = run.journal
+
+        def kill_hook(seq):
+            if (pending_lsns and journal.mode == "append"
+                    and seq >= pending_lsns[0]):
+                pending_lsns.pop(0)
+                raise ProcessCrash(f"injected primary kill at LSN {seq}")
+
+        journal.op_hook = kill_hook
+
+    def _ckpt_kill_hook(self, pending_ckpt):
+        if not pending_ckpt:
+            return None
+        target_step, target_phase = pending_ckpt
+
+        def hook(step, phase):
+            if pending_ckpt and step >= target_step and \
+                    phase == target_phase:
+                pending_ckpt.clear()
+                raise ProcessCrash(
+                    f"injected primary kill at checkpoint {step} "
+                    f"({phase})"
+                )
+
+        return hook
+
+    def _fail_over(self, attempt, crash_mono):
+        """Promote the best replica; returns the resumed run."""
+        promoted = self.elect()
+        if promoted is None:
+            # Degraded mode: no replica left — restart in place, the
+            # single-node story.
+            run = RecoverableRun.resume(self.primary_dir, attempt=attempt)
+            self.monitor.record_failover("<self>", crash_mono)
+            return run
+        promoted.close()
+        self.replicas.remove(promoted)
+        self.links.pop(promoted.replica_id)
+        self.primary_dir = promoted.workdir
+        run = RecoverableRun.resume(promoted.workdir, attempt=attempt)
+        self.monitor.record_failover(promoted.replica_id, crash_mono)
+        return run
+
+    def _finalize(self):
+        """Deliver stragglers and close every surviving replica."""
+        self._drain_links()
+        final_lsn = self.monitor.primary_lsn
+        for replica in self.replicas:
+            if not replica.eof_seen:
+                # The eof may have been eaten by chaos; closing is
+                # control-plane, so apply it directly.
+                ack = replica.apply(eof_frame(final_lsn))
+                if ack is not None:
+                    self.monitor.observe_ack(ack)
+            replica.close()
+
+    # Equivalence -------------------------------------------------------------------
+
+    def check_equivalence(self, result):
+        """Uninterrupted reference run vs the failed-over run."""
+        ref_run = RecoverableRun(
+            self.spec.without_crashes(), self.workdir / "_reference",
+            attempt=0,
+        )
+        ref_result = ref_run.run()
+        return {
+            "fingerprint": result["fingerprint"],
+            "reference_fingerprint": ref_result["fingerprint"],
+            "equivalent": (
+                result["fingerprint"] == ref_result["fingerprint"]
+            ),
+            "reference_validation": ref_result["validation"],
+        }
+
+
+def _id_order(replica_id):
+    """Sort key making *lower* ids win ties under ``max``."""
+    return tuple(-ord(c) for c in replica_id)

@@ -1,0 +1,132 @@
+"""Chaos transport: a per-replica link that realises network faults.
+
+:class:`ChaosLink` sits between ``encode_frame`` and delivery.  Each
+``send`` draws once from the link's dedicated RNG stream
+(``faults/net/<replica>``) and tests the draw against stacked
+thresholds — partition, drop, duplicate, reorder — so each fault class
+hits at exactly its configured marginal rate and at most one fault
+strikes a given frame, mirroring the DRAM line-fault hook.
+
+Mechanics of the stateful faults:
+
+* **partition**: the next ``partition_frames`` frames are swallowed
+  whole, then the link heals.  The replica sees a gap and resynchronises
+  from the next checkpoint frame (see ``replica.py``).
+* **reorder**: the frame is held back one slot and delivered *after*
+  its successor — the classic adjacent swap of multi-path routing.
+* **lag** (``net_lag_frames``): a fixed store-and-forward depth; every
+  frame is delivered ``lag`` sends late.  This is the lagging-replica
+  scenario: the replica is healthy but persistently behind.
+
+Counters land in :class:`~repro.faults.injector.NetworkFaultStats`,
+which is deliberately *not* part of the run fingerprint — transport
+chaos must never change what the merge state hashes to.
+"""
+
+
+class ChaosLink:
+    """One primary->replica link with plan-driven fault injection."""
+
+    def __init__(self, injector, replica_id):
+        self.replica_id = str(replica_id)
+        self.plan = injector.plan
+        self.stats = injector.net_stats
+        self._rng = injector.net_rng(self.replica_id)
+        self._holdback = None  # reordered frame awaiting its successor
+        self._lagged = []  # store-and-forward queue (net_lag_frames deep)
+        self._partition_left = 0
+
+    @property
+    def partitioned(self):
+        return self._partition_left > 0
+
+    def send(self, frame):
+        """Subject ``frame`` to the link's fate; returns delivered frames.
+
+        The return order is the order the replica's socket would see.
+        """
+        self.stats.frames_sent += 1
+        if self._partition_left > 0:
+            self._partition_left -= 1
+            self.stats.partition_frames_dropped += 1
+            if self._partition_left == 0:
+                self.stats.partitions_healed += 1
+            return []
+        plan = self.plan
+        fate = "deliver"
+        if plan.net_fault_rate > 0.0:
+            r = float(self._rng.random())
+            threshold = plan.partition_prob
+            if r < threshold:
+                fate = "partition"
+            else:
+                threshold += plan.net_drop_rate
+                if r < threshold:
+                    fate = "drop"
+                else:
+                    threshold += plan.net_duplicate_rate
+                    if r < threshold:
+                        fate = "duplicate"
+                    else:
+                        threshold += plan.net_reorder_rate
+                        if r < threshold:
+                            fate = "reorder"
+        if fate == "partition":
+            self.stats.partitions_started += 1
+            self.stats.partition_frames_dropped += 1
+            self._partition_left = max(0, self.plan.partition_frames - 1)
+            if self._partition_left == 0:
+                self.stats.partitions_healed += 1
+            return []
+        if fate == "drop":
+            self.stats.frames_dropped += 1
+            return self._release(None)
+        if fate == "duplicate":
+            self.stats.frames_duplicated += 1
+            return self._release(frame, frame)
+        if fate == "reorder":
+            if self._holdback is None:
+                self.stats.frames_reordered += 1
+                self._holdback = frame
+                return self._release(None)
+            # Already holding one frame back; a second holdback would
+            # reorder across more than one slot — deliver instead.
+        return self._release(frame)
+
+    def _release(self, *frames):
+        """Push surviving frames through holdback + lag to the replica."""
+        out = []
+        for frame in frames:
+            if frame is None:
+                continue
+            out.append(frame)
+            if self._holdback is not None and frame is not self._holdback:
+                out.append(self._holdback)
+                self._holdback = None
+        delivered = []
+        lag = self.plan.net_lag_frames
+        for frame in out:
+            self._lagged.append(frame)
+        while len(self._lagged) > lag:
+            delivered.append(self._lagged.pop(0))
+        self.stats.frames_delivered += len(delivered)
+        return delivered
+
+    def drain(self):
+        """Flush the holdback and lag queues (stream shutdown).
+
+        A real socket close would deliver whatever the path still holds;
+        partitioned links stay silent — their queued frames are gone.
+        """
+        if self.partitioned:
+            self._holdback = None
+            self._lagged.clear()
+            return []
+        remainder = []
+        if self._holdback is not None:
+            remainder.append(self._holdback)
+            self._holdback = None
+        remainder = self._lagged + remainder
+        self._lagged = []
+        self.stats.frames_delivered += len(remainder)
+        return remainder

@@ -236,8 +236,13 @@ class RecoverableRun:
     # Execution --------------------------------------------------------------------
 
     def heartbeat(self, interval):
+        # The monotonic timestamp travels in the payload, not the mtime:
+        # supervisors compare it against their own CLOCK_MONOTONIC, which
+        # is skew-free across processes on one host.
         with open(self.workdir / "heartbeat", "w") as handle:
-            handle.write(f"{interval}\n")
+            handle.write(json.dumps(
+                {"interval": int(interval), "mono": time.monotonic()}
+            ))
 
     def _maybe_stall(self, interval):
         if (

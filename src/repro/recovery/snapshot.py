@@ -65,7 +65,19 @@ def load_checkpoint(path):
 
     Raises :class:`CheckpointCorrupt` on any validation failure.
     """
-    blob = Path(path).read_bytes()
+    return parse_checkpoint(Path(path).read_bytes(), label=str(path))
+
+
+def parse_checkpoint(blob, label="<bytes>"):
+    """Validate and decode checkpoint ``blob``; returns (state, header).
+
+    The bytes-level twin of :func:`load_checkpoint`, used by the
+    replication tier to vet checkpoint frames received off the wire
+    before installing them — a replica never trusts a blob a lossy
+    transport handed it.  Raises :class:`CheckpointCorrupt` on any
+    validation failure.
+    """
+    path = label
     if not blob.startswith(MAGIC):
         raise CheckpointCorrupt(f"{path}: bad magic")
     rest = blob[len(MAGIC):]

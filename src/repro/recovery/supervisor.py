@@ -6,8 +6,14 @@ The run itself executes in a **child process** (``repro supervise
 the watchdog's own SIGKILL — exercises exactly the failure mode the
 journal and checkpoint layers are built for.  The parent:
 
-* polls the worker's heartbeat file and SIGKILLs it when the mtime goes
-  stale (``stall_timeout``) — a hung worker is a crash like any other;
+* polls the worker's heartbeat file and SIGKILLs it when the monotonic
+  timestamp *inside* the payload goes stale (``stall_timeout``) — a hung
+  worker is a crash like any other.  The timestamp travels in the file
+  contents rather than its mtime because mtime granularity on coarse
+  filesystems (and wall-clock skew/steps) can false-trigger a SIGKILL;
+  ``CLOCK_MONOTONIC`` is shared by all processes on a host, so the
+  comparison is skew-free.  Legacy heartbeat files (a bare interval
+  number) still work via an mtime fallback;
 * restarts dead workers with ``--attempt N+1`` (which resumes from the
   newest valid checkpoint) under a retry budget with exponential
   backoff;
@@ -32,6 +38,45 @@ from repro.recovery.runner import RecoverableRun, RunSpec
 #: Worker exit code for an injected ProcessCrash (distinguishable from
 #: tracebacks, SIGKILL, and clean exits in the supervisor's log).
 CRASH_EXIT_CODE = 73
+
+
+def read_heartbeat(path):
+    """Parse a heartbeat file; returns (mono_timestamp, mtime).
+
+    ``mono_timestamp`` is the ``time.monotonic()`` value the worker
+    wrote inside the payload (None for legacy bare-interval files or
+    unreadable payloads); ``mtime`` is the file's modification time
+    (None if the file is missing).  Callers prefer the payload
+    timestamp and fall back to mtime for backward compatibility.
+    """
+    path = Path(path)
+    mono = None
+    try:
+        mtime = path.stat().st_mtime
+    except OSError:
+        return None, None
+    try:
+        payload = json.loads(path.read_text())
+        mono = float(payload["mono"])
+    except (OSError, ValueError, KeyError, TypeError):
+        mono = None
+    return mono, mtime
+
+
+def heartbeat_staleness(path, started_mono, started_wall):
+    """Seconds since the worker last proved liveness.
+
+    Uses the in-payload monotonic timestamp when present (clamped to
+    the watcher's own spawn time, so a stale file left by a previous
+    attempt never counts against a fresh worker); falls back to mtime
+    against the wall clock for legacy-format files.
+    """
+    mono, mtime = read_heartbeat(path)
+    if mono is not None:
+        return time.monotonic() - max(mono, started_mono)
+    if mtime is None:
+        return time.monotonic() - started_mono  # no beat yet: from spawn
+    return time.time() - max(mtime, started_wall)
 
 
 @dataclass
@@ -124,25 +169,26 @@ class Supervisor:
             env=env,
         )
 
-    def _watch(self, proc, started_at):
+    def _watch(self, proc):
         """Wait for the worker; SIGKILL it on heartbeat stall.
 
-        Returns (exit_code, stalled).
+        Staleness comes from the monotonic timestamp the worker writes
+        inside the heartbeat payload (see :func:`heartbeat_staleness`);
+        a heartbeat file left behind by a previous attempt is already
+        stale, so the new worker gets a full stall_timeout from its own
+        spawn before the first beat counts.  Returns (exit_code,
+        stalled).
         """
         heartbeat = self.workdir / "heartbeat"
+        started_mono = time.monotonic()
+        started_wall = time.time()
         while True:
             rc = proc.poll()
             if rc is not None:
                 return rc, False
-            try:
-                last = heartbeat.stat().st_mtime
-            except OSError:
-                last = started_at  # no beat yet: count from spawn
-            # A heartbeat file left behind by a previous attempt is
-            # already stale; the new worker gets a full stall_timeout
-            # from its own spawn before the first beat counts.
-            last = max(last, started_at)
-            if time.time() - last > self.stall_timeout:
+            stale = heartbeat_staleness(heartbeat, started_mono,
+                                        started_wall)
+            if stale > self.stall_timeout:
                 proc.send_signal(signal.SIGKILL)
                 proc.wait()
                 return -signal.SIGKILL, True
@@ -155,7 +201,7 @@ class Supervisor:
         for attempt in range(self.max_attempts):
             outcome.attempts = attempt + 1
             proc = self._spawn(attempt)
-            rc, stalled = self._watch(proc, time.time())
+            rc, stalled = self._watch(proc)
             outcome.exit_codes.append(rc)
             if rc == 0:
                 outcome.completed = True

@@ -48,6 +48,28 @@ class KSMTimingStats:
         )
 
 
+def summarize(values):
+    """Collapse a sample list into flat summary scalars.
+
+    Providers must expose scalars (``_flatten`` drops lists), so
+    distribution-shaped telemetry — replication lag samples, latency
+    histories — goes through this: ``{"count", "mean", "min", "max",
+    "p95"}``.  An empty sample yields all-zero stats rather than NaNs.
+    """
+    values = [float(v) for v in values]
+    if not values:
+        return {"count": 0, "mean": 0.0, "min": 0.0, "max": 0.0, "p95": 0.0}
+    ordered = sorted(values)
+    rank = min(len(ordered) - 1, int(0.95 * len(ordered)))
+    return {
+        "count": len(ordered),
+        "mean": sum(ordered) / len(ordered),
+        "min": ordered[0],
+        "max": ordered[-1],
+        "p95": ordered[rank],
+    }
+
+
 def _flatten(prefix, value, out):
     if is_dataclass(value) and not isinstance(value, type):
         # vars(), not asdict(): stats dataclasses hold defaultdict

@@ -1,0 +1,124 @@
+"""Property: failover is crash-equivalent at *any* primary kill point.
+
+The replicated tier's contract is PR 4's crash-equivalence guarantee
+lifted over node death: kill the primary at any journaled LSN — or in
+the middle of publishing a checkpoint — and the promoted replica's
+completed run fingerprints identically to the uninterrupted reference.
+Hypothesis drives the kill point; the reference fingerprint is computed
+once per module and every failover run must land on it.
+"""
+
+import dataclasses
+
+import pytest
+
+pytest.importorskip("hypothesis")
+from hypothesis import HealthCheck, given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+from repro.faults.plan import FaultPlan  # noqa: E402
+from repro.recovery import (  # noqa: E402
+    RecoverableRun,
+    ReplicationSession,
+    RunSpec,
+)
+
+pytestmark = pytest.mark.slow
+
+_SPEC = RunSpec(
+    app="moses", mode="ksm", seed=3, pages_per_vm=30, n_vms=3,
+    intervals=4, checkpoint_every=2, plan=FaultPlan(seed=3),
+)
+
+_failover_settings = settings(
+    max_examples=8, deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+
+
+@pytest.fixture(scope="module")
+def reference(tmp_path_factory):
+    """The uninterrupted run every failover must be equivalent to."""
+    workdir = tmp_path_factory.mktemp("reference")
+    run = RecoverableRun(_SPEC.without_crashes(), workdir, attempt=0)
+    result = run.run()
+    assert result["validation"]["auditor_clean"]
+    assert result["validation"]["zero_false_merges"]
+    return result
+
+
+@given(kill_lsn=st.integers(min_value=1, max_value=40))
+@_failover_settings
+def test_primary_kill_at_any_lsn_is_equivalent(
+    tmp_path_factory, reference, kill_lsn
+):
+    workdir = tmp_path_factory.mktemp(f"kill-{kill_lsn}")
+    session = ReplicationSession(_SPEC, workdir, n_replicas=2)
+    out = session.run(kill_at_lsns=[kill_lsn])
+    assert out["failovers"] >= 1
+    assert out["result"]["fingerprint"] == reference["fingerprint"]
+    assert out["result"]["validation"]["auditor_clean"]
+    assert out["result"]["validation"]["zero_false_merges"]
+
+
+@given(
+    step=st.sampled_from([2, 4]),
+    phase=st.sampled_from(["published", "streamed"]),
+)
+@_failover_settings
+def test_kill_during_checkpoint_publish_is_equivalent(
+    tmp_path_factory, reference, step, phase
+):
+    workdir = tmp_path_factory.mktemp(f"ckpt-{step}-{phase}")
+    session = ReplicationSession(_SPEC, workdir, n_replicas=2)
+    out = session.run(kill_at_checkpoint=(step, phase))
+    assert out["failovers"] == 1
+    assert out["result"]["fingerprint"] == reference["fingerprint"]
+
+
+@given(
+    kills=st.lists(
+        st.integers(min_value=1, max_value=40),
+        min_size=2, max_size=3, unique=True,
+    )
+)
+@_failover_settings
+def test_cascading_failovers_stay_equivalent(
+    tmp_path_factory, reference, kills
+):
+    """Every replica can die in turn; the last node finishes the run."""
+    workdir = tmp_path_factory.mktemp("cascade")
+    session = ReplicationSession(_SPEC, workdir, n_replicas=2)
+    out = session.run(kill_at_lsns=sorted(kills), max_attempts=8)
+    assert out["failovers"] == len(kills)
+    assert out["result"]["fingerprint"] == reference["fingerprint"]
+
+
+@given(
+    kill_lsn=st.integers(min_value=5, max_value=35),
+    net_rate=st.sampled_from([0.05, 0.15, 0.30]),
+)
+@_failover_settings
+def test_kill_under_lossy_network_is_equivalent(
+    tmp_path_factory, reference, kill_lsn, net_rate
+):
+    """Transport chaos shrinks replica state but never forks history."""
+    plan = FaultPlan.lossy_network(
+        net_rate, seed=3, partition_prob=0.02, partition_frames=6
+    )
+    spec = dataclasses.replace(_SPEC, plan=plan)
+    workdir = tmp_path_factory.mktemp("lossy")
+    session = ReplicationSession(spec, workdir, n_replicas=2)
+    out = session.run(kill_at_lsns=[kill_lsn])
+    assert out["result"]["fingerprint"] == reference["fingerprint"]
+
+
+def test_crash_after_ops_plan_field_triggers_failover(tmp_path, reference):
+    """The plan's own kill switch works through the session too."""
+    plan = dataclasses.replace(_SPEC.plan, crash_after_ops=20)
+    spec = dataclasses.replace(_SPEC, plan=plan)
+    session = ReplicationSession(spec, tmp_path, n_replicas=2)
+    out = session.run(check_equivalence=True)
+    assert out["failovers"] == 1
+    assert out["equivalence"]["equivalent"]
+    assert out["result"]["fingerprint"] == reference["fingerprint"]
