@@ -139,6 +139,49 @@ def faults_to_rows(results):
     return rows
 
 
+def fleet_to_rows(result):
+    """FleetResult -> flat rows: one per host, plus a ``fleet`` total row.
+
+    The per-host rows are the reduce's own ``per_host`` entries (already
+    sorted by host_id); the total row carries every fleet aggregate plus
+    the fingerprint, so an exported CSV is self-identifying — two
+    exports with equal fingerprints are the same run, bit for bit.
+    """
+    fleet_only = ("distinct_contents", "cross_host_duplicate_frames",
+                  "potential_savings_frac", "fingerprint")
+    rows = []
+    for host in result.per_host:
+        row = {"row": "host"}
+        row.update(host)
+        row.update({key: "" for key in fleet_only})
+        rows.append(row)
+    total = {
+        "row": "fleet",
+        "host_id": "",
+        "backend": "+".join(sorted(result.by_backend)),
+        "app": "",
+        "seed": result.seed,
+        "queries": result.queries,
+        "mean_sojourn_s": result.mean_sojourn_s,
+        "p95_sojourn_s": result.p95_sojourn_s_max,
+        "kernel_share_avg": result.kernel_share_avg,
+        "kernel_share_max": result.kernel_share_max,
+        "l3_miss_rate": "",
+        "bandwidth_peak_gbps": result.bandwidth_max_gbps,
+        "guest_pages": result.guest_pages,
+        "footprint_pages": result.footprint_pages,
+        "merges": result.merges,
+        "cow_breaks": result.cow_breaks,
+        "savings_frac": result.savings_frac,
+        "distinct_contents": result.distinct_contents,
+        "cross_host_duplicate_frames": result.cross_host_duplicate_frames,
+        "potential_savings_frac": result.potential_savings_frac,
+        "fingerprint": result.fingerprint,
+    }
+    rows.append(total)
+    return rows
+
+
 def rows_to_csv(rows, path=None):
     """Serialise rows to CSV; returns the text (and writes if ``path``)."""
     if not rows:

@@ -282,7 +282,8 @@ def bench_event_queue(quick):
 # Steady-state scan -----------------------------------------------------------
 
 
-def _scan_throughput(daemon_cls, warmup_intervals, measure_intervals):
+def _scan_throughput(daemon_cls, warmup_intervals, measure_intervals,
+                     n_vms=4, pages_per_vm=250):
     """Steady-state pages scanned per CPU-second for one daemon class.
 
     Only the ``scan_pages`` calls are timed; churn writes between
@@ -292,7 +293,9 @@ def _scan_throughput(daemon_cls, warmup_intervals, measure_intervals):
     daemons measure bit-identical work, which keeps their ratio stable
     across runs — it feeds a CI gate.
     """
-    hypervisor, churn_pages = build_scan_fleet()
+    hypervisor, churn_pages = build_scan_fleet(
+        n_vms=n_vms, pages_per_vm=pages_per_vm
+    )
     budget = 1000
     daemon = daemon_cls(
         hypervisor, KSMConfig(pages_to_scan=budget, hash_bytes=PAGE_BYTES)
@@ -330,6 +333,94 @@ def bench_steady_state_scan(quick):
         Metric("steady_state_scan.scalar_pages_per_s", scalar, "pages/s"),
         Metric("steady_state_scan.speedup_vs_scalar", vectorized / scalar,
                "x", gate=True),
+    ]
+
+
+# Fleet pipeline --------------------------------------------------------------
+
+
+@suite("fleet")
+def bench_fleet(quick):
+    """Sharded fleet pipeline: shard cost, reduce cost, determinism bit.
+
+    The gated metric is ``parallel_fingerprint_equal`` — the fleet
+    layer's headline property as a CI bit: an in-process sequential run
+    and a two-worker pooled run of the same spec must reduce to
+    bit-identical fingerprints.  ``scan_pages_per_s`` drives the shared
+    per-shard scan fixture (:func:`build_shard_scan_fleet`), so the
+    fleet tier's scan cost is measured with the exact churn model the
+    single-host ``steady_state_scan`` suite uses.
+    """
+    from repro.bench.fixtures import build_shard_scan_fleet
+    from repro.fleet import (
+        FleetSpec,
+        reduce_shards,
+        run_fleet,
+        run_shard,
+        shard_tasks,
+    )
+
+    n_shards = 2 if quick else 4
+    spec = FleetSpec.uniform(
+        n_shards, backend="ksm",
+        n_vms=2 if quick else 3,
+        pages_per_vm=40 if quick else 80,
+        duration_s=0.04 if quick else 0.08,
+        warmup_s=0.04 if quick else 0.08,
+    )
+    tasks = shard_tasks(spec)
+    results = []
+
+    def run_all_shards():
+        results.clear()
+        results.extend(run_shard(task) for task in tasks)
+
+    seq_ns = measure_once_ns(run_all_shards)
+    reduce_ns = measure_op_ns(
+        lambda: reduce_shards(spec, results),
+        min_time_s=0.05 if quick else 0.2,
+    )
+    sequential = reduce_shards(spec, results)
+    pooled = run_fleet(spec, workers=2)
+    fingerprints_equal = float(
+        sequential.fingerprint == pooled.fingerprint
+    )
+
+    # Per-shard steady scan over the shared churn model.
+    budget = 1000
+    scan_pages = 0
+    scan_s = 0.0
+    for host_id in range(2):
+        hypervisor, churn_pages = build_shard_scan_fleet(
+            host_id, fleet_seed=spec.seed,
+            n_vms=2 if quick else 4,
+            pages_per_vm=100 if quick else 250,
+        )
+        daemon = KSMDaemon(
+            hypervisor,
+            KSMConfig(pages_to_scan=budget, hash_bytes=PAGE_BYTES),
+        )
+        stamp = 0
+        for _ in range(2):  # warm to steady state
+            stamp += 1
+            churn_tail(hypervisor, churn_pages, stamp)
+            daemon.scan_pages(budget)
+        for _ in range(2 if quick else 4):
+            stamp += 1
+            churn_tail(hypervisor, churn_pages, stamp)
+            t0 = time.process_time()
+            scan_pages += daemon.scan_pages(budget).pages_scanned
+            scan_s += time.process_time() - t0
+
+    return [
+        Metric("fleet.shard_run_ns", seq_ns / n_shards, "ns/shard",
+               higher_is_better=False),
+        Metric("fleet.shards_per_s", 1e9 * n_shards / seq_ns, "shards/s"),
+        Metric("fleet.reduce_ns_per_shard", reduce_ns / n_shards,
+               "ns/shard", higher_is_better=False),
+        Metric("fleet.scan_pages_per_s", scan_pages / scan_s, "pages/s"),
+        Metric("fleet.parallel_fingerprint_equal", fingerprints_equal,
+               "bool", gate=True),
     ]
 
 

@@ -7,6 +7,8 @@ Commands map one-to-one onto the paper's experiments:
 * ``latency``   — Figures 9/10/11 + Tables 4/5 for chosen apps;
 * ``run``       — timed system under any registered merge backend
   (the paper's three plus ``uksm``/``esx``);
+* ``fleet``     — sharded multi-host fleet with a deterministic reduce
+  (cross-host dedup opportunity, heterogeneous backends);
 * ``faults``    — seeded chaos campaigns (fault injection + degradation);
 * ``demo``      — the 30-second quickstart merge demo;
 * ``verify``    — correctness gate (golden figures, differential
@@ -187,6 +189,71 @@ def cmd_run(args):
     if args.metrics_json:
         rows_to_json(metrics_to_rows(results), args.metrics_json)
         print(f"wrote {args.metrics_json}")
+    return 0
+
+
+def cmd_fleet(args):
+    """Sharded fleet run: map hosts onto workers, reduce, fingerprint."""
+    from repro.analysis.export import fleet_to_rows
+    from repro.fleet import FleetSpec, run_fleet
+
+    backends = args.backend or ["ksm"]
+    try:
+        spec = FleetSpec.heterogeneous(
+            args.shards, backends, app=args.app, n_vms=args.vms,
+            pages_per_vm=args.pages_per_vm, seed=args.seed,
+            duration_s=args.duration, warmup_s=args.warmup,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    def progress(shard):
+        print(f"  host {shard.host_id} ({shard.backend}) done: "
+              f"{shard.queries} queries, "
+              f"{shard.footprint_pages}/{shard.guest_pages} pages",
+              file=sys.stderr)
+
+    print(f"running {spec.n_hosts} shards ({', '.join(backends)}) ...",
+          file=sys.stderr)
+    result = run_fleet(spec, workers=args.workers, progress=progress)
+
+    header = (f"{'host':>4} {'backend':<10} {'app':<10} {'queries':>7} "
+              f"{'mean ms':>8} {'p95 ms':>8} {'pages':>12} {'save%':>6}")
+    print(header)
+    print("-" * len(header))
+    for host in result.per_host:
+        print(
+            f"{host['host_id']:>4} {host['backend']:<10} "
+            f"{host['app']:<10} {host['queries']:>7} "
+            f"{1e3 * host['mean_sojourn_s']:>8.2f} "
+            f"{1e3 * host['p95_sojourn_s']:>8.2f} "
+            f"{host['footprint_pages']:>5}/{host['guest_pages']:<6} "
+            f"{100 * host['savings_frac']:>5.1f}%"
+        )
+    print("-" * len(header))
+    print(f"fleet: {result.n_hosts} hosts, {result.n_vms} VMs, "
+          f"{result.queries} queries")
+    print(f"  savings            {100 * result.savings_frac:.1f}% "
+          f"({result.footprint_pages}/{result.guest_pages} pages, "
+          f"{result.merges} merges, {result.cow_breaks} CoW breaks)")
+    print(f"  latency            mean {1e3 * result.mean_sojourn_s:.2f} ms, "
+          f"p95 worst-host {1e3 * result.p95_sojourn_s_max:.2f} ms")
+    print(f"  bandwidth          worst host "
+          f"{result.bandwidth_max_gbps:.2f} GB/s, "
+          f"aggregate {result.bandwidth_sum_gbps:.2f} GB/s")
+    print(f"  cross-host dedup   {result.cross_host_duplicate_frames} "
+          f"duplicate frames across hosts "
+          f"({100 * result.cross_host_dedup_frac:.1f}% of footprint); "
+          f"a fleet-wide merger could reach "
+          f"{100 * result.potential_savings_frac:.1f}% savings")
+    if len(result.by_backend) > 1:
+        for backend in sorted(result.by_backend):
+            bucket = result.by_backend[backend]
+            print(f"  {backend:<18} {bucket['hosts']} hosts, "
+                  f"{100 * bucket['savings_frac']:.1f}% savings")
+    print(f"  fingerprint        {result.fingerprint}")
+    _export(fleet_to_rows(result), args)
     return 0
 
 
@@ -446,6 +513,33 @@ def build_parser():
     p.add_argument("--metrics-json",
                    help="write the per-mode component-metrics snapshot")
     p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser(
+        "fleet",
+        help="fleet-scale sharded run with deterministic reduce",
+    )
+    p.add_argument("--shards", type=int, default=8,
+                   help="number of simulated hosts")
+    p.add_argument("--workers", type=int, default=None,
+                   help="worker processes (default: min(shards, cores)); "
+                        "any value produces the same fingerprint")
+    p.add_argument("--backend", action="append",
+                   help="merge backend; repeat to build a heterogeneous "
+                        "fleet (hosts cycle through the list; default "
+                        "ksm; see also: "
+                        + ", ".join(available_backends()))
+    p.add_argument("--app", default="moses", choices=list(TAILBENCH_APPS))
+    p.add_argument("--vms", type=int, default=4,
+                   help="VMs per host")
+    p.add_argument("--pages-per-vm", type=int, default=200)
+    p.add_argument("--duration", type=float, default=0.3)
+    p.add_argument("--warmup", type=float, default=0.4)
+    p.add_argument("--seed", type=int, default=2017,
+                   help="the single fleet seed every shard seed derives "
+                        "from")
+    p.add_argument("--csv", help="write per-host + total rows to CSV")
+    p.add_argument("--json", help="write per-host + total rows to JSON")
+    p.set_defaults(func=cmd_fleet)
 
     p = sub.add_parser("faults",
                        help="seeded chaos campaigns across merge engines")

@@ -1,0 +1,299 @@
+"""VM live migration between fleet hosts.
+
+A migration moves a VM's *page contents* — merge state never travels.
+On the source, the VM's mappings are torn down (shared frames lose one
+sharer, private frames free) and the merge machinery forgets the VM:
+checksum/working-set entries drop, pass-queue candidates for the VM are
+cancelled, and tree nodes whose backing frame died are pruned.  On the
+destination the pages arrive as ordinary private, mergeable memory and
+the destination's own merger re-discovers duplicates on its next scan
+passes — exactly how KSM behaves across a real live migration (merged
+pages are broken by the copy; MADV_MERGEABLE re-applies on the target).
+
+Every step is auditable: pass an
+:class:`~repro.verify.invariants.InvariantAuditor` and the migration
+re-checks frame accounting, rbtree validity, and Scan-Table
+well-formedness on *both* hosts after teardown and after rebuild, plus
+byte-exact content equality between the captured and landed pages.
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.common.config import KSMConfig, TAILBENCH_APPS
+from repro.common.rng import DeterministicRNG
+from repro.fleet.shard import frame_digest_counts
+from repro.mem import PhysicalMemory
+from repro.sim.backends import get_backend
+from repro.virt import Hypervisor
+from repro.workloads.memimage import (
+    MemoryImageProfile,
+    WriteChurner,
+    build_vm_images,
+)
+
+__all__ = [
+    "FunctionalHost",
+    "MigrationReport",
+    "VMImagePayload",
+    "capture_vm",
+    "migrate_vm",
+]
+
+
+@dataclass
+class VMImagePayload:
+    """A VM's pages serialised for transfer: the migration wire format.
+
+    ``pages`` carries ``(gpn, content_bytes, mergeable, category)`` —
+    guest-visible state only.  PPNs, CoW flags, sharer counts, and tree
+    membership deliberately do not travel: they are host-local merge
+    state and must be rebuilt, not copied.
+    """
+
+    name: str
+    source_vm_id: int
+    pages: List[Tuple[int, bytes, bool, str]]
+
+    @property
+    def n_pages(self):
+        return len(self.pages)
+
+    @property
+    def n_bytes(self):
+        return sum(len(content) for _g, content, _m, _c in self.pages)
+
+
+def capture_vm(hypervisor, vm_id):
+    """Serialise a VM's guest-visible pages (the pre-copy phase)."""
+    vm = hypervisor.vms[vm_id]
+    pages = []
+    for mapping in vm.mappings():
+        frame = hypervisor.memory.frame(mapping.ppn)
+        pages.append((
+            mapping.gpn,
+            frame.data.tobytes(),
+            bool(mapping.mergeable),
+            mapping.category,
+        ))
+    return VMImagePayload(name=vm.name, source_vm_id=vm_id, pages=pages)
+
+
+def _forget_vm(bundle, vm_id):
+    """Tear the merge machinery's memory of ``vm_id`` down.
+
+    Backend-shape aware: a KSM-family bundle (ksm/pageforge/uksm) drops
+    checksums and queued candidates and prunes tree nodes whose frames
+    died with the VM; an ESX-style bundle drops queued candidates and
+    prunes its hash buckets.  Stats counters are history, not state, and
+    stay.
+    """
+    daemon = bundle.daemon
+    if daemon is not None:
+        daemon._checksums = {
+            key: value for key, value in daemon._checksums.items()
+            if key[0] != vm_id
+        }
+        daemon._pass_queue = type(daemon._pass_queue)(
+            c for c in daemon._pass_queue if c.vm_id != vm_id
+        )
+        daemon._prune_stale(daemon.stable_tree)
+        daemon._prune_stale(daemon.unstable_tree)
+    merger = bundle.merger
+    if daemon is None and merger is not None and hasattr(merger, "_queue"):
+        merger._queue = [
+            (vm, mapping) for vm, mapping in merger._queue
+            if vm.vm_id != vm_id
+        ]
+        for key in list(getattr(merger, "_buckets", {})):
+            merger._prune_bucket(key)
+
+
+@dataclass
+class MigrationReport:
+    """What one migration did, with the audit verdicts."""
+
+    source_vm_id: int
+    dest_vm_id: int
+    pages_moved: int
+    bytes_moved: int
+    src_footprint_before: int
+    src_footprint_after: int
+    dest_footprint_before: int
+    dest_footprint_after: int
+    dest_merges: int = 0
+    content_intact: bool = True
+    audits_clean: bool = True
+    details: Dict[str, object] = field(default_factory=dict)
+
+
+class FunctionalHost:
+    """One host's untimed merging stack, as migration sees it.
+
+    The functional face of a shard: a hypervisor with VM images plus
+    one registered backend's :class:`MergerBundle` — the same stack
+    :func:`~repro.sim.runner.run_memory_savings` drives, packaged so
+    the migration and dedup scenarios can hold several hosts at once.
+    """
+
+    def __init__(self, host_id, backend="ksm", app="moses", n_vms=3,
+                 pages_per_vm=120, seed=2017, pages_to_scan=4000,
+                 churn=False, capacity_head_room=4):
+        self.host_id = host_id
+        self.backend = backend
+        self.backend_cls = get_backend(backend)
+        app_cfg = TAILBENCH_APPS[app] if isinstance(app, str) else app
+        self.app = app_cfg
+        self.rng = DeterministicRNG(seed, f"fleet/host{host_id}")
+        capacity = max(
+            pages_per_vm * n_vms * capacity_head_room * 4096, 64 << 20
+        )
+        self.hypervisor = Hypervisor(
+            physical_memory=PhysicalMemory(capacity)
+        )
+        profile = MemoryImageProfile.for_app(app_cfg, pages_per_vm)
+        self.images = build_vm_images(
+            self.hypervisor, profile, n_vms, self.rng,
+            name_prefix=f"h{host_id}-vm",
+        )
+        self.churner = None
+        if churn:
+            self.churner = WriteChurner(
+                self.hypervisor, self.images.churn_pages,
+                self.rng.derive("churn"), fraction_per_tick=0.5,
+            )
+        self.config = KSMConfig(pages_to_scan=pages_to_scan)
+        self.bundle = self.backend_cls.build_functional(
+            self.hypervisor, self.config
+        )
+        self.merger = self.bundle.merger
+
+    # Scanning --------------------------------------------------------------------
+
+    def scan(self, n_pages=None):
+        """One scan interval (churning first when churn is enabled)."""
+        if self.churner is not None:
+            self.churner.tick()
+        return self.merger.scan_pages(
+            self.config.pages_to_scan if n_pages is None else n_pages
+        )
+
+    def converge(self, max_passes=8):
+        """Scan until the footprint stabilises (or the pass budget ends)."""
+        last = None
+        stable = 0
+        for _ in range(max_passes * 40):
+            interval = self.scan()
+            if interval.pages_scanned == 0 and (
+                interval.passes_completed == 0
+            ):
+                break
+            if interval.passes_completed:
+                footprint = self.footprint()
+                if last is not None and footprint == last:
+                    stable += 1
+                else:
+                    stable = 0
+                last = footprint
+                if stable >= 2:
+                    break
+        return self.footprint()
+
+    # Accounting ------------------------------------------------------------------
+
+    def footprint(self):
+        return self.hypervisor.footprint_pages()
+
+    def guest_pages(self):
+        return self.hypervisor.guest_pages()
+
+    def digests(self):
+        return frame_digest_counts(self.hypervisor)
+
+    def attach_auditor(self, auditor):
+        """Wire an InvariantAuditor into this host's merge events."""
+        daemon = self.bundle.daemon
+        if daemon is not None:
+            auditor.attach_daemon(daemon)
+        else:
+            auditor.attach_hypervisor(self.hypervisor)
+        driver = self.bundle.driver
+        if driver is not None and hasattr(driver, "engine"):
+            auditor.attach_engine(driver.engine)
+        return auditor
+
+    def audit(self, auditor):
+        """Full-state audit now: frames always, trees when present."""
+        daemon = self.bundle.daemon
+        if daemon is not None:
+            auditor.on_scan_interval(daemon)
+        else:
+            auditor.audit_frames(self.hypervisor)
+        return auditor
+
+
+def migrate_vm(src, dest, vm_id, auditor=None, rescan=True,
+               max_passes=8):
+    """Live-migrate ``vm_id`` from ``src`` to ``dest`` (FunctionalHosts).
+
+    Returns a :class:`MigrationReport`; the destination assigns its own
+    VM id (``report.dest_vm_id``), as a real target hypervisor would.
+    With ``rescan=False`` the pages land but the destination merger is
+    not driven — the caller owns re-convergence (used by tests that
+    audit the intermediate state).
+    """
+    payload = capture_vm(src.hypervisor, vm_id)
+    expected = {
+        gpn: content for gpn, content, _m, _c in payload.pages
+    }
+    src_before = src.footprint()
+    dest_before = dest.footprint()
+    dest_merges_before = dest.hypervisor.stats.merges
+
+    # Source teardown: unmap every page, then make the merge machinery
+    # forget the VM.  Order matters — pruning walks the trees, and a
+    # stale node is only detectable after its frame died.
+    src.hypervisor.destroy_vm(src.hypervisor.vms[vm_id])
+    _forget_vm(src.bundle, vm_id)
+    if auditor is not None:
+        src.audit(auditor)
+
+    # Destination rebuild: pages land private and mergeable; the
+    # destination's own scanner re-merges duplicates.
+    new_vm = dest.hypervisor.create_vm(name=payload.name)
+    for gpn, content, mergeable, category in payload.pages:
+        dest.hypervisor.populate_page(
+            new_vm, gpn,
+            np.frombuffer(content, dtype=np.uint8),
+            category=category, mergeable=mergeable,
+        )
+    if rescan:
+        dest.converge(max_passes=max_passes)
+    if auditor is not None:
+        dest.audit(auditor)
+
+    # Post-copy verification: every page's bytes must have survived the
+    # trip (reads go through the destination's live mappings, so merged
+    # landings are covered too).
+    intact = True
+    for gpn, content in expected.items():
+        landed = bytes(dest.hypervisor.guest_read(new_vm, gpn))
+        if landed != content:
+            intact = False
+            break
+
+    return MigrationReport(
+        source_vm_id=vm_id,
+        dest_vm_id=new_vm.vm_id,
+        pages_moved=payload.n_pages,
+        bytes_moved=payload.n_bytes,
+        src_footprint_before=src_before,
+        src_footprint_after=src.footprint(),
+        dest_footprint_before=dest_before,
+        dest_footprint_after=dest.footprint(),
+        dest_merges=dest.hypervisor.stats.merges - dest_merges_before,
+        content_intact=intact,
+        audits_clean=auditor.clean if auditor is not None else True,
+    )

@@ -1,0 +1,77 @@
+"""The fleet driver: map shards onto worker processes, then reduce.
+
+Workers are OS processes (``concurrent.futures.ProcessPoolExecutor``) —
+each shard is an independent full-machine simulation, so the workload is
+CPU-bound pure Python/numpy and threads would serialise on the GIL.
+
+Determinism contract: ``run_fleet(spec, workers=a)`` and
+``run_fleet(spec, workers=b)`` produce FleetResults with identical
+fingerprints for any a, b >= 1, for any shard submission order.  The
+three pillars:
+
+* every shard's seed is resolved from the fleet seed *before* dispatch
+  (:func:`~repro.fleet.shard.shard_tasks`), so a shard's inputs do not
+  depend on where or when it runs;
+* :func:`~repro.fleet.shard.run_shard` is a pure function of its task;
+* the reduce step sorts by ``host_id`` before folding, discarding both
+  completion order and submission order.
+"""
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.fleet.reduce import reduce_shards
+from repro.fleet.shard import run_shard, shard_tasks
+
+__all__ = [
+    "default_workers",
+    "run_fleet",
+]
+
+
+def default_workers(n_tasks):
+    """Worker count when the caller does not pin one."""
+    return max(1, min(n_tasks, os.cpu_count() or 1))
+
+
+def run_fleet(spec, workers=None, submit_order=None, progress=None):
+    """Run every host of ``spec`` and reduce to a FleetResult.
+
+    ``workers=1`` runs shards inline in this process (no pool), which
+    must — and does — fingerprint identically to any pooled run.
+    ``submit_order`` (a permutation of task indices) reorders pool
+    submission; it exists so the determinism tests can prove scheduling
+    order is irrelevant.  ``progress`` is an optional callable invoked
+    with each finished :class:`ShardResult` as it completes (completion
+    order — display only, never fed to the reduce).
+    """
+    tasks = shard_tasks(spec)
+    order = list(range(len(tasks)))
+    if submit_order is not None:
+        if sorted(submit_order) != order:
+            raise ValueError(
+                "submit_order must be a permutation of task indices"
+            )
+        order = list(submit_order)
+
+    if workers is None:
+        workers = default_workers(len(tasks))
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+
+    results = []
+    if workers == 1:
+        for index in order:
+            result = run_shard(tasks[index])
+            if progress is not None:
+                progress(result)
+            results.append(result)
+    else:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [pool.submit(run_shard, tasks[i]) for i in order]
+            for future in futures:
+                result = future.result()
+                if progress is not None:
+                    progress(result)
+                results.append(result)
+    return reduce_shards(spec, results)

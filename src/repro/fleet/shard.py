@@ -1,0 +1,183 @@
+"""One shard: a full ServerSystem run packaged for a worker process.
+
+``run_shard`` is the map step of the fleet pipeline.  It is a plain
+module-level function over a picklable :class:`ShardTask` so a
+``ProcessPoolExecutor`` can ship it to any worker; everything the reduce
+step needs comes back in a picklable :class:`ShardResult`.
+
+The timed run is *identical* to one mode of
+:func:`~repro.sim.runner.run_latency_experiment` — same ServerSystem
+construction, same :class:`~repro.sim.runner.LatencySummary` assembly —
+so a single-host fleet reduces to exactly the numbers ``repro run``
+prints (the differential tests pin this).
+"""
+
+import hashlib
+from dataclasses import asdict, dataclass, field
+from typing import Dict
+
+import numpy as np
+
+from repro.common.config import TAILBENCH_APPS
+from repro.fleet.config import FleetSpec, HostSpec
+from repro.sim.runner import LatencySummary
+from repro.sim.system import ServerSystem, SimulationScale
+
+__all__ = [
+    "ShardResult",
+    "ShardTask",
+    "frame_digest_counts",
+    "run_shard",
+    "shard_tasks",
+]
+
+
+def frame_digest_counts(hypervisor):
+    """Histogram of live-frame contents: blake2b-16 hex -> frame count.
+
+    The cross-host dedup scenario exchanges these between shards: two
+    hosts holding frames with equal digests hold duplicate content that
+    per-host merging can never reclaim.  Digests are content-derived and
+    process-stable, so the histogram is deterministic and cheap to ship
+    (one small dict instead of gigabytes of pages).
+    """
+    counts = {}
+    for frame in hypervisor.memory.frames():
+        digest = hashlib.blake2b(
+            frame.data.tobytes(), digest_size=16
+        ).hexdigest()
+        counts[digest] = counts.get(digest, 0) + 1
+    return counts
+
+
+@dataclass(frozen=True)
+class ShardTask:
+    """Everything one worker needs to run one host, fully resolved.
+
+    The seed is resolved (fleet seed already folded in) before the task
+    is shipped, so a worker never sees fleet-global state — the task is
+    the whole contract.
+    """
+
+    host_id: int
+    backend: str
+    app: str
+    n_vms: int
+    pages_per_vm: int
+    seed: int
+    duration_s: float
+    warmup_s: float
+
+
+def shard_tasks(spec: FleetSpec):
+    """Resolve a validated FleetSpec into per-host ShardTasks."""
+    spec.validate()
+    return [
+        ShardTask(
+            host_id=host.host_id,
+            backend=host.backend,
+            app=host.app,
+            n_vms=host.n_vms,
+            pages_per_vm=host.pages_per_vm,
+            seed=host.resolve_seed(spec.seed),
+            duration_s=spec.duration_s,
+            warmup_s=spec.warmup_s,
+        )
+        for host in spec.hosts
+    ]
+
+
+@dataclass
+class ShardResult:
+    """One host's contribution to the fleet reduce.
+
+    ``summary`` is the flattened LatencySummary dict (identical to a
+    ``repro run`` row's source); ``metrics`` is the host's full
+    component-metrics snapshot; ``digest_counts`` feeds the cross-host
+    dedup measurement.
+    """
+
+    host_id: int
+    backend: str
+    app: str
+    seed: int
+    summary: Dict[str, object]
+    metrics: Dict[str, object]
+    digest_counts: Dict[str, int]
+    guest_pages: int = 0
+    footprint_pages: int = 0
+    merges: int = 0
+    cow_breaks: int = 0
+    extras: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def queries(self):
+        return int(self.summary["queries"])
+
+    @property
+    def mean_sojourn_s(self):
+        return float(self.summary["mean_sojourn_s"])
+
+    @property
+    def p95_sojourn_s(self):
+        return float(self.summary["p95_sojourn_s"])
+
+    @property
+    def savings_frac(self):
+        if not self.guest_pages:
+            return 0.0
+        return 1.0 - self.footprint_pages / self.guest_pages
+
+
+def run_shard(task: ShardTask) -> ShardResult:
+    """Run one host end to end (the map step).
+
+    Pure function of ``task``: no module globals are read or written
+    beyond semantically-neutral memo caches, so running in a fresh
+    worker, a reused worker, or inline in the parent produces the same
+    bits — the property the determinism suite asserts.
+    """
+    app = TAILBENCH_APPS[task.app]
+    scale = SimulationScale(
+        pages_per_vm=task.pages_per_vm, n_vms=task.n_vms,
+        duration_s=task.duration_s, warmup_s=task.warmup_s,
+    )
+    system = ServerSystem(app, mode=task.backend, scale=scale,
+                          seed=task.seed)
+    collector = system.run()
+    shares = system.kernel_shares()
+    peak, breakdown, _start = system.bandwidth_peak()
+    summary = LatencySummary(
+        app_name=app.name,
+        mode=task.backend,
+        mean_sojourn_s=collector.geomean_mean_sojourn_s(),
+        p95_sojourn_s=collector.geomean_p95_sojourn_s(),
+        queries=len(collector),
+        kernel_share_avg=float(np.mean(shares)),
+        kernel_share_max=float(np.max(shares)),
+        l3_miss_rate=system.l3_miss_rate(),
+        bandwidth_peak_gbps=peak,
+        bandwidth_breakdown=breakdown,
+        footprint_pages=system.hypervisor.footprint_pages(),
+    )
+    system.backend.summarize(summary)
+    hyp = system.hypervisor
+    return ShardResult(
+        host_id=task.host_id,
+        backend=task.backend,
+        app=task.app,
+        seed=task.seed,
+        summary=asdict(summary),
+        metrics=system.metrics.snapshot(),
+        digest_counts=frame_digest_counts(hyp),
+        guest_pages=hyp.guest_pages(),
+        footprint_pages=hyp.footprint_pages(),
+        merges=hyp.stats.merges,
+        cow_breaks=hyp.stats.cow_breaks,
+    )
+
+
+def run_shard_from_spec(spec: FleetSpec, host: HostSpec) -> ShardResult:
+    """Convenience: run one host of a fleet without the pool machinery."""
+    (task,) = shard_tasks(spec.with_hosts([host]))
+    return run_shard(task)

@@ -1,0 +1,281 @@
+"""Fleet layer: spec/seed derivation, reduce semantics, differential.
+
+The differential test is the load-bearing one: a fleet of N *identical*
+single-host shards (explicit pinned seeds) must reduce to exactly N
+times the metrics one ``repro run`` of that host produces — integer
+counters exactly, floating aggregates to fp-roundoff.
+"""
+
+import json
+import math
+
+import pytest
+
+from repro.fleet import (
+    FleetSpec,
+    HostSpec,
+    ShardResult,
+    reduce_shards,
+    run_fleet,
+    run_shard,
+    shard_seed,
+    shard_tasks,
+)
+from repro.fleet.reduce import FleetResult
+from repro.sim.runner import run_latency_experiment
+from repro.sim.system import SimulationScale
+
+TINY = dict(n_vms=2, pages_per_vm=40, duration_s=0.04, warmup_s=0.04)
+
+
+# Spec and seed derivation ----------------------------------------------------
+
+
+def test_shard_seed_is_stable_and_distinct():
+    # Pinned value: the derivation is sha256-based and must never move
+    # between Python versions or processes (a salted hash() would).
+    assert shard_seed(2017, 0) == shard_seed(2017, 0)
+    seeds = {shard_seed(2017, host) for host in range(64)}
+    assert len(seeds) == 64
+    assert all(0 < s < 2 ** 63 for s in seeds)
+    # Different fleet seeds decorrelate every host.
+    assert shard_seed(2017, 3) != shard_seed(2018, 3)
+
+
+def test_host_seed_override_pins_the_shard():
+    derived = HostSpec(host_id=5).resolve_seed(2017)
+    assert derived == shard_seed(2017, 5)
+    assert HostSpec(host_id=5, seed=123).resolve_seed(2017) == 123
+
+
+def test_spec_validation_rejects_bad_fleets():
+    with pytest.raises(ValueError, match="no hosts"):
+        FleetSpec(hosts=()).validate()
+    dup = FleetSpec(hosts=(HostSpec(host_id=1), HostSpec(host_id=1)))
+    with pytest.raises(ValueError, match="duplicate host_ids"):
+        dup.validate()
+    with pytest.raises(ValueError, match="backend"):
+        FleetSpec.uniform(2, backend="nope")
+    with pytest.raises(ValueError, match="unknown app"):
+        FleetSpec.uniform(2, app="nope")
+
+
+def test_heterogeneous_builder_cycles_backends():
+    spec = FleetSpec.heterogeneous(5, ("ksm", "pageforge", "esx"))
+    assert [h.backend for h in spec.hosts] == [
+        "ksm", "pageforge", "esx", "ksm", "pageforge",
+    ]
+    with pytest.raises(ValueError, match="unknown merge backend"):
+        FleetSpec.heterogeneous(2, ("ksm", "nope"))
+
+
+def test_shard_tasks_resolve_seeds_before_dispatch():
+    spec = FleetSpec.uniform(3, seed=42, **TINY)
+    tasks = shard_tasks(spec)
+    assert [t.host_id for t in tasks] == [0, 1, 2]
+    assert [t.seed for t in tasks] == [shard_seed(42, h) for h in range(3)]
+
+
+# Reduce semantics on synthetic shard results ---------------------------------
+
+
+def _synthetic_result(host_id, backend="ksm", queries=10, mean=0.01,
+                      p95=0.02, peak=2.0, guest=100, footprint=70,
+                      digests=None):
+    return ShardResult(
+        host_id=host_id, backend=backend, app="moses", seed=host_id,
+        summary={
+            "queries": queries, "mean_sojourn_s": mean,
+            "p95_sojourn_s": p95, "kernel_share_avg": 0.1,
+            "kernel_share_max": 0.2, "l3_miss_rate": 0.3,
+            "bandwidth_peak_gbps": peak,
+        },
+        metrics={"m/count": 5, "m/name": "str", "m/flag": True},
+        digest_counts=digests if digests is not None else {"a": 1},
+        guest_pages=guest, footprint_pages=footprint,
+        merges=3, cow_breaks=1,
+    )
+
+
+def test_reduce_sums_counters_and_weights_latency():
+    spec = FleetSpec(hosts=(HostSpec(host_id=0), HostSpec(host_id=1)))
+    a = _synthetic_result(0, queries=10, mean=0.01, p95=0.02, peak=2.0)
+    b = _synthetic_result(1, queries=30, mean=0.03, p95=0.05, peak=1.0)
+    out = reduce_shards(spec, [b, a])  # arrival order must not matter
+    assert out.queries == 40
+    assert out.guest_pages == 200 and out.footprint_pages == 140
+    assert out.merges == 6 and out.cow_breaks == 2
+    assert math.isclose(out.mean_sojourn_s, (10 * 0.01 + 30 * 0.03) / 40)
+    assert math.isclose(out.p95_sojourn_s_wmean, (10 * 0.02 + 30 * 0.05) / 40)
+    assert out.p95_sojourn_s_max == 0.05
+    assert out.bandwidth_sum_gbps == 3.0 and out.bandwidth_max_gbps == 2.0
+    # Snapshot metrics: numerics sum, strings and flags are dropped.
+    assert out.metrics == {"m/count": 10}
+    assert [row["host_id"] for row in out.per_host] == [0, 1]
+
+
+def test_reduce_rejects_missing_duplicate_and_extra_hosts():
+    spec = FleetSpec(hosts=(HostSpec(host_id=0), HostSpec(host_id=1)))
+    a, b = _synthetic_result(0), _synthetic_result(1)
+    with pytest.raises(ValueError, match="duplicate shard result"):
+        reduce_shards(spec, [a, a, b])
+    with pytest.raises(ValueError, match="missing hosts \\[1\\]"):
+        reduce_shards(spec, [a])
+    with pytest.raises(ValueError, match="unexpected hosts \\[2\\]"):
+        reduce_shards(spec, [a, b, _synthetic_result(2)])
+
+
+def test_cross_host_dedup_accounting():
+    # Host 0 holds {x, y}, host 1 holds {x, z, z}: per-host distinct sums
+    # to 4, the fleet has 3 distinct contents, so exactly one frame is a
+    # cross-host duplicate; host 1's extra z is intra-host residue.
+    spec = FleetSpec(hosts=(HostSpec(host_id=0), HostSpec(host_id=1)))
+    a = _synthetic_result(0, footprint=2, digests={"x": 1, "y": 1})
+    b = _synthetic_result(1, footprint=3, digests={"x": 1, "z": 2})
+    out = reduce_shards(spec, [a, b])
+    assert out.distinct_contents == 3
+    assert out.cross_host_duplicate_frames == 1
+    assert out.intra_host_duplicate_frames == 1
+
+
+def test_by_backend_buckets_heterogeneous_fleets():
+    spec = FleetSpec(hosts=(
+        HostSpec(host_id=0, backend="ksm"),
+        HostSpec(host_id=1, backend="esx"),
+        HostSpec(host_id=2, backend="ksm"),
+    ))
+    out = reduce_shards(spec, [
+        _synthetic_result(0, backend="ksm"),
+        _synthetic_result(1, backend="esx"),
+        _synthetic_result(2, backend="ksm"),
+    ])
+    assert out.by_backend["ksm"]["hosts"] == 2
+    assert out.by_backend["esx"]["hosts"] == 1
+    assert math.isclose(out.by_backend["ksm"]["savings_frac"], 0.3)
+
+
+def test_fingerprint_covers_every_field():
+    spec = FleetSpec(hosts=(HostSpec(host_id=0),))
+    out = reduce_shards(spec, [_synthetic_result(0)])
+    fp = out.fingerprint
+    out.merges += 1
+    assert out.fingerprint != fp
+    # And the dict round-trips through canonical JSON.
+    json.dumps(out.to_dict(), sort_keys=True)
+
+
+def test_fleet_result_fractions_guard_zero_division():
+    empty = FleetResult(seed=0, n_hosts=0, n_vms=0)
+    assert empty.savings_frac == 0.0
+    assert empty.cross_host_dedup_frac == 0.0
+    assert empty.potential_savings_frac == 0.0
+
+
+# Differential: N identical shards == N x one `repro run` --------------------
+
+
+def test_identical_shards_reduce_to_exact_multiples():
+    pinned = 977
+    scale = SimulationScale(
+        pages_per_vm=TINY["pages_per_vm"], n_vms=TINY["n_vms"],
+        duration_s=TINY["duration_s"], warmup_s=TINY["warmup_s"],
+    )
+    single = run_latency_experiment(
+        "moses", modes=("ksm",), scale=scale, seed=pinned
+    ).summaries["ksm"]
+
+    n = 3
+    spec = FleetSpec(
+        seed=0,
+        hosts=tuple(
+            HostSpec(host_id=i, backend="ksm", app="moses",
+                     n_vms=TINY["n_vms"],
+                     pages_per_vm=TINY["pages_per_vm"], seed=pinned)
+            for i in range(n)
+        ),
+        duration_s=TINY["duration_s"], warmup_s=TINY["warmup_s"],
+    )
+    fleet = run_fleet(spec, workers=1)
+
+    # Integer counters: exactly N times the single run.
+    assert fleet.queries == n * single.queries
+    assert fleet.footprint_pages == n * single.footprint_pages
+    # Weighted means of identical hosts collapse to the single value.
+    assert math.isclose(fleet.mean_sojourn_s, single.mean_sojourn_s,
+                        rel_tol=1e-12)
+    assert math.isclose(fleet.p95_sojourn_s_wmean, single.p95_sojourn_s,
+                        rel_tol=1e-12)
+    assert fleet.p95_sojourn_s_max == single.p95_sojourn_s
+    assert math.isclose(fleet.kernel_share_avg, single.kernel_share_avg,
+                        rel_tol=1e-12)
+    assert fleet.kernel_share_max == single.kernel_share_max
+    assert math.isclose(fleet.bandwidth_sum_gbps,
+                        n * single.bandwidth_peak_gbps, rel_tol=1e-12)
+    assert fleet.bandwidth_max_gbps == single.bandwidth_peak_gbps
+    # Identical hosts contribute identical digest histograms, so the
+    # fleet-distinct set equals one host's and every further host's
+    # distinct set is pure cross-host duplication: (n-1) * D frames.
+    assert all(r["footprint_pages"] == single.footprint_pages
+               for r in fleet.per_host)
+    assert fleet.cross_host_duplicate_frames == (
+        (n - 1) * fleet.distinct_contents
+    )
+
+
+def test_run_shard_matches_repro_run_summary():
+    """One shard's summary dict is bit-identical to `repro run`'s."""
+    from dataclasses import asdict
+
+    pinned = 431
+    scale = SimulationScale(
+        pages_per_vm=TINY["pages_per_vm"], n_vms=TINY["n_vms"],
+        duration_s=TINY["duration_s"], warmup_s=TINY["warmup_s"],
+    )
+    single = run_latency_experiment(
+        "moses", modes=("ksm",), scale=scale, seed=pinned
+    ).summaries["ksm"]
+    spec = FleetSpec(
+        seed=0,
+        hosts=(HostSpec(host_id=0, backend="ksm",
+                        n_vms=TINY["n_vms"],
+                        pages_per_vm=TINY["pages_per_vm"], seed=pinned),),
+        duration_s=TINY["duration_s"], warmup_s=TINY["warmup_s"],
+    )
+    (task,) = shard_tasks(spec)
+    shard = run_shard(task)
+    assert shard.summary == asdict(single)
+
+
+# CLI + export ----------------------------------------------------------------
+
+
+def test_cli_fleet_smoke(capsys, tmp_path):
+    from repro.cli import main
+
+    csv_path = tmp_path / "fleet.csv"
+    json_path = tmp_path / "fleet.json"
+    rc = main([
+        "fleet", "--shards", "2", "--workers", "1", "--vms", "2",
+        "--pages-per-vm", "40", "--duration", "0.04", "--warmup", "0.04",
+        "--backend", "ksm", "--backend", "esx",
+        "--csv", str(csv_path), "--json", str(json_path),
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "fingerprint" in out and "cross-host dedup" in out
+    rows = json.loads(json_path.read_text())
+    assert [r["row"] for r in rows] == ["host", "host", "fleet"]
+    assert rows[0]["backend"] == "ksm" and rows[1]["backend"] == "esx"
+    total = rows[-1]
+    assert total["queries"] == rows[0]["queries"] + rows[1]["queries"]
+    assert total["fingerprint"]
+    header = csv_path.read_text().splitlines()[0]
+    assert header.startswith("row,host_id,backend")
+
+
+def test_cli_fleet_rejects_unknown_backend(capsys):
+    from repro.cli import main
+
+    rc = main(["fleet", "--shards", "2", "--backend", "nope"])
+    assert rc == 2
+    assert "unknown merge backend" in capsys.readouterr().err

@@ -1,0 +1,110 @@
+"""Property suite for the fleet determinism contract.
+
+The headline property of the fleet layer, stated as hypothesis
+properties over random fleet shapes: for any fleet spec — shard count,
+per-host VM mix, backend assignment — the reduced
+:class:`~repro.fleet.FleetResult` fingerprint is bit-identical across
+
+* worker counts 1, 2, and ``os.cpu_count()``;
+* any shuffled shard submission order;
+* repeated runs in the same process (memo caches must be neutral).
+
+Scales are tiny (a shard here is ~0.2 s of wall time) and example
+counts small; the point is shape coverage, not soak time — CI runs this
+suite on every push.
+"""
+
+import os
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.fleet import FleetSpec, HostSpec, run_fleet
+from repro.sim.backends import available_backends
+
+#: Backends a timed ServerSystem accepts (everything registered).
+BACKENDS = sorted(available_backends())
+
+TINY_TIMING = dict(duration_s=0.03, warmup_s=0.03)
+
+host_specs = st.builds(
+    HostSpec,
+    host_id=st.integers(0, 10 ** 6),  # overwritten with unique ids below
+    backend=st.sampled_from(BACKENDS),
+    app=st.sampled_from(["moses", "sphinx"]),
+    n_vms=st.integers(2, 3),
+    pages_per_vm=st.integers(30, 50),
+)
+
+fleet_specs = st.builds(
+    lambda hosts, seed: FleetSpec(
+        seed=seed,
+        hosts=tuple(
+            # Re-id sequentially so host_ids are unique; everything else
+            # (backend, app, size) stays as drawn.
+            HostSpec(host_id=i, backend=h.backend, app=h.app,
+                     n_vms=h.n_vms, pages_per_vm=h.pages_per_vm)
+            for i, h in enumerate(hosts)
+        ),
+        **TINY_TIMING,
+    ),
+    hosts=st.lists(host_specs, min_size=2, max_size=4),
+    seed=st.integers(0, 2 ** 32 - 1),
+)
+
+RELAXED = settings(
+    max_examples=3, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow,
+                           HealthCheck.data_too_large],
+)
+
+
+@given(spec=fleet_specs)
+@RELAXED
+def test_fingerprint_identical_across_worker_counts(spec):
+    inline = run_fleet(spec, workers=1)
+    pooled = run_fleet(spec, workers=2)
+    assert inline.fingerprint == pooled.fingerprint
+    wide = run_fleet(spec, workers=max(2, os.cpu_count() or 2))
+    assert wide.fingerprint == inline.fingerprint
+
+
+@given(spec=fleet_specs, data=st.data())
+@RELAXED
+def test_fingerprint_identical_under_shuffled_submission(spec, data):
+    order = data.draw(st.permutations(range(spec.n_hosts)))
+    baseline = run_fleet(spec, workers=1)
+    shuffled_inline = run_fleet(spec, workers=1, submit_order=order)
+    shuffled_pooled = run_fleet(spec, workers=2, submit_order=order)
+    assert shuffled_inline.fingerprint == baseline.fingerprint
+    assert shuffled_pooled.fingerprint == baseline.fingerprint
+
+
+@given(seed=st.integers(0, 2 ** 32 - 1))
+@settings(max_examples=2, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_rerun_in_same_process_is_bit_identical(seed):
+    # Memo caches (pair memo, checksum priming) warm up across runs;
+    # they must be semantically invisible to the fingerprint.
+    spec = FleetSpec.heterogeneous(
+        3, ("ksm", "pageforge", "esx"), n_vms=2, pages_per_vm=40,
+        seed=seed, **TINY_TIMING,
+    )
+    first = run_fleet(spec, workers=1)
+    second = run_fleet(spec, workers=1)
+    assert first.fingerprint == second.fingerprint
+
+
+def test_seed_change_changes_the_fingerprint():
+    # Guard against a degenerate fingerprint (constant hash would pass
+    # every equality property above).
+    a = run_fleet(
+        FleetSpec.uniform(2, n_vms=2, pages_per_vm=40, seed=1,
+                          **TINY_TIMING),
+        workers=1,
+    )
+    b = run_fleet(
+        FleetSpec.uniform(2, n_vms=2, pages_per_vm=40, seed=2,
+                          **TINY_TIMING),
+        workers=1,
+    )
+    assert a.fingerprint != b.fingerprint
