@@ -153,6 +153,11 @@ def fleet_to_rows(result):
     for host in result.per_host:
         row = {"row": "host"}
         row.update(host)
+        # Driver-level retries are operational provenance: exported so
+        # a flaky run is visible in the CSV, but never fingerprinted.
+        row["shard_retries"] = result.shard_retries.get(
+            host["host_id"], 0
+        )
         row.update({key: "" for key in fleet_only})
         rows.append(row)
     total = {
@@ -173,6 +178,7 @@ def fleet_to_rows(result):
         "merges": result.merges,
         "cow_breaks": result.cow_breaks,
         "savings_frac": result.savings_frac,
+        "shard_retries": result.total_shard_retries,
         "distinct_contents": result.distinct_contents,
         "cross_host_duplicate_frames": result.cross_host_duplicate_frames,
         "potential_savings_frac": result.potential_savings_frac,

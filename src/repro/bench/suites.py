@@ -514,6 +514,64 @@ def bench_replication(quick):
     ]
 
 
+# Serving tier ----------------------------------------------------------------
+
+
+@suite("serve")
+def bench_serve(quick):
+    """Overload robustness of the live front-end at 2x capacity.
+
+    A real server on an ephemeral port takes an open-loop Poisson run
+    at twice its own measured capacity (probed with the same bimodal
+    heavy/light mix, so the overload is genuine).  Every gated metric
+    is a machine-independent bit or ratio:
+
+    * ``accounting_exact`` — offered == accepted + shed + failed on
+      both the client and server ledgers;
+    * ``zero_deadline_violations`` — no 200 was ever sent past its
+      deadline (late successes become 504s before the status line);
+    * ``goodput_floor_ok`` — goodput under overload stays above the
+      floor fraction of what the server could have served;
+    * ``auditor_clean`` — overload never corrupted simulator state.
+    """
+    from repro.serve import MergeServer, ServeConfig, run_overload_check
+    from repro.verify.invariants import InvariantAuditor
+
+    auditor = InvariantAuditor()
+    config = ServeConfig(port=0, n_vms=2, pages_per_vm=40)
+    server = MergeServer(config, auditor=auditor).start()
+    try:
+        # The quick tier keeps the full probe/run windows: shorter
+        # ones leave the goodput ratio without statistical margin
+        # over the floor, and a gated bit must not flake.
+        verdict = run_overload_check(
+            server, overload_factor=2.0,
+            probe_s=1.0 if quick else 1.5,
+            duration_s=2.0 if quick else 3.0,
+            heavy_frac=0.5, heavy_pages=200 if quick else 400,
+        )
+    finally:
+        server.drain(timeout=15)
+    result = verdict.result
+    p99_s = result.latency.get("p99", 0.0)
+    return [
+        Metric("serve.capacity_qps", verdict.capacity_qps, "req/s"),
+        Metric("serve.goodput_qps", verdict.goodput_qps, "req/s"),
+        Metric("serve.goodput_ratio", verdict.goodput_ratio, "frac"),
+        Metric("serve.p99_latency_ns", p99_s * 1e9, "ns",
+               higher_is_better=False),
+        Metric("serve.goodput_floor_ok",
+               float(verdict.goodput_floor_ok), "bool", gate=True),
+        Metric("serve.accounting_exact",
+               float(result.accounting_exact), "bool", gate=True),
+        Metric("serve.zero_deadline_violations",
+               float(verdict.deadline_violations == 0), "bool",
+               gate=True),
+        Metric("serve.auditor_clean", float(auditor.clean), "bool",
+               gate=True),
+    ]
+
+
 @suite("e2e_fig9")
 def bench_e2e_fig9(quick):
     """One short Figure 9 latency experiment (all three modes)."""

@@ -46,6 +46,7 @@ from repro.analysis.export import (
 )
 from repro.bench.cli import add_bench_parser
 from repro.common.config import TAILBENCH_APPS, default_machine_config
+from repro.serve.cli import add_loadgen_parser, add_serve_parser
 from repro.sim.backends import available_backends, recoverable_backends
 
 
@@ -195,7 +196,7 @@ def cmd_run(args):
 def cmd_fleet(args):
     """Sharded fleet run: map hosts onto workers, reduce, fingerprint."""
     from repro.analysis.export import fleet_to_rows
-    from repro.fleet import FleetSpec, run_fleet
+    from repro.fleet import FleetSpec, ShardRetryExhausted, run_fleet
 
     backends = args.backend or ["ksm"]
     try:
@@ -216,7 +217,17 @@ def cmd_fleet(args):
 
     print(f"running {spec.n_hosts} shards ({', '.join(backends)}) ...",
           file=sys.stderr)
-    result = run_fleet(spec, workers=args.workers, progress=progress)
+    retry_kwargs = {}
+    if args.shard_retries is not None:
+        retry_kwargs["shard_retries"] = args.shard_retries
+    if args.shard_timeout is not None:
+        retry_kwargs["shard_timeout"] = args.shard_timeout
+    try:
+        result = run_fleet(spec, workers=args.workers,
+                           progress=progress, **retry_kwargs)
+    except ShardRetryExhausted as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
 
     header = (f"{'host':>4} {'backend':<10} {'app':<10} {'queries':>7} "
               f"{'mean ms':>8} {'p95 ms':>8} {'pages':>12} {'save%':>6}")
@@ -252,6 +263,13 @@ def cmd_fleet(args):
             bucket = result.by_backend[backend]
             print(f"  {backend:<18} {bucket['hosts']} hosts, "
                   f"{100 * bucket['savings_frac']:.1f}% savings")
+    if result.shard_retries:
+        detail = ", ".join(
+            f"host {host_id}: {count}"
+            for host_id, count in sorted(result.shard_retries.items())
+        )
+        print(f"  shard retries      {result.total_shard_retries} "
+              f"({detail}) — fingerprint unaffected")
     print(f"  fingerprint        {result.fingerprint}")
     _export(fleet_to_rows(result), args)
     return 0
@@ -450,9 +468,9 @@ def cmd_verify(args):
             print(format_golden_drift(drifts, regen_command=REGEN_COMMAND))
             failed |= bool(drifts)
             if args.json:
-                from pathlib import Path
+                from repro.common.io import atomic_write_text
 
-                Path(args.json).write_text(canonical_json(fingerprints))
+                atomic_write_text(args.json, canonical_json(fingerprints))
                 print(f"wrote {args.json}")
 
     return 1 if failed else 0
@@ -537,6 +555,14 @@ def build_parser():
     p.add_argument("--seed", type=int, default=2017,
                    help="the single fleet seed every shard seed derives "
                         "from")
+    p.add_argument("--shard-retries", type=int, default=None,
+                   help="re-runs allowed per shard after a worker death "
+                        "or timeout (default 3); retries never change "
+                        "the fingerprint")
+    p.add_argument("--shard-timeout", type=float, default=None,
+                   metavar="S",
+                   help="abandon and retry any shard that runs longer "
+                        "than this (default: unbounded)")
     p.add_argument("--csv", help="write per-host + total rows to CSV")
     p.add_argument("--json", help="write per-host + total rows to JSON")
     p.set_defaults(func=cmd_fleet)
@@ -666,6 +692,8 @@ def build_parser():
     p.set_defaults(func=cmd_verify)
 
     add_bench_parser(sub)
+    add_serve_parser(sub)
+    add_loadgen_parser(sub)
 
     p = sub.add_parser("config", help="print Table 2 configuration")
     p.set_defaults(func=cmd_config)

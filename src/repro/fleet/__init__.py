@@ -22,7 +22,11 @@ from repro.fleet.migration import (
     migrate_vm,
 )
 from repro.fleet.reduce import FleetResult, fleet_fingerprint, reduce_shards
-from repro.fleet.runner import default_workers, run_fleet
+from repro.fleet.runner import (
+    ShardRetryExhausted,
+    default_workers,
+    run_fleet,
+)
 from repro.fleet.shard import (
     ShardResult,
     ShardTask,
@@ -39,6 +43,7 @@ __all__ = [
     "HostSpec",
     "MigrationReport",
     "ShardResult",
+    "ShardRetryExhausted",
     "ShardTask",
     "VMImagePayload",
     "capture_vm",

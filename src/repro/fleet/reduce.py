@@ -73,6 +73,15 @@ class FleetResult:
     metrics: Dict[str, object] = field(default_factory=dict)
     # One row per host, sorted by host_id.
     per_host: List[Dict[str, object]] = field(default_factory=list)
+    # Per-host worker retry counts from the driver.  Deliberately NOT
+    # in :meth:`to_dict`: a shard is a pure function of its task, so a
+    # re-run is equivalent to the run — how many times the OS killed a
+    # worker is operational noise and must not perturb the fingerprint.
+    shard_retries: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def total_shard_retries(self):
+        return sum(self.shard_retries.values())
 
     @property
     def savings_frac(self):

@@ -15,18 +15,68 @@ three pillars:
 * :func:`~repro.fleet.shard.run_shard` is a pure function of its task;
 * the reduce step sorts by ``host_id`` before folding, discarding both
   completion order and submission order.
+
+Fault tolerance: a worker process can die (OOM kill, segfaulting native
+extension) or stall.  The driver retries, because a shard is a pure
+function of its task — re-running it is *exactly* equivalent to running
+it once, which is why retries are fingerprint-neutral by construction
+(the retry count is reported on the result but deliberately excluded
+from :meth:`~repro.fleet.reduce.FleetResult.to_dict`, the fingerprint's
+input).  A broken pool is abandoned and rebuilt; every shard it failed
+to complete is charged one attempt (attribution inside a shared pool is
+ambiguous — the dead worker was running *some* shard) and requeued with
+deterministic jittered backoff.  A shard that exhausts its budget
+raises :class:`ShardRetryExhausted` naming the host.
 """
 
 import os
-from concurrent.futures import ProcessPoolExecutor
+import time
+from collections import defaultdict
+from concurrent.futures import (
+    BrokenExecutor,
+    CancelledError,
+    ProcessPoolExecutor,
+)
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from pathlib import Path
 
+from repro.common.rng import DeterministicRNG
 from repro.fleet.reduce import reduce_shards
 from repro.fleet.shard import run_shard, shard_tasks
 
 __all__ = [
+    "DEFAULT_SHARD_RETRIES",
+    "ShardRetryExhausted",
     "default_workers",
     "run_fleet",
 ]
+
+#: Allowed re-runs per shard before the fleet run fails.
+DEFAULT_SHARD_RETRIES = 3
+
+#: First-retry backoff; doubles per round, deterministically jittered.
+_BACKOFF_BASE_S = 0.05
+_BACKOFF_CAP_S = 1.0
+
+#: ``kind:host_id:times:stall_s:marker_dir`` — test-only worker chaos.
+#: Read in the *child* process (monkeypatching cannot cross the process
+#: boundary); the marker directory counts injections so the (times+1)th
+#: attempt runs clean.  ``kind`` is ``die`` (hard exit, breaks the
+#: pool) or ``stall`` (sleep ``stall_s``, trips the shard timeout).
+_CHAOS_ENV = "REPRO_FLEET_CHAOS"
+
+
+class ShardRetryExhausted(RuntimeError):
+    """One shard kept failing after every allowed retry."""
+
+    def __init__(self, host_id, attempts, cause):
+        super().__init__(
+            f"shard for host {host_id} failed {attempts} time(s), "
+            f"retry budget exhausted (last cause: {cause!r})"
+        )
+        self.host_id = host_id
+        self.attempts = attempts
+        self.cause = cause
 
 
 def default_workers(n_tasks):
@@ -34,16 +84,50 @@ def default_workers(n_tasks):
     return max(1, min(n_tasks, os.cpu_count() or 1))
 
 
-def run_fleet(spec, workers=None, submit_order=None, progress=None):
+def _maybe_inject_chaos(task):
+    raw = os.environ.get(_CHAOS_ENV)
+    if not raw:
+        return
+    kind, host_id, times, stall_s, marker_dir = raw.split(":", 4)
+    if task.host_id != int(host_id):
+        return
+    markers = Path(marker_dir)
+    done = len(list(markers.glob(f"host{host_id}-*")))
+    if done >= int(times):
+        return
+    (markers / f"host{host_id}-{os.getpid()}-{done}").touch()
+    if kind == "die":
+        os._exit(17)  # hard worker death: BrokenProcessPool upstream
+    elif kind == "stall":
+        time.sleep(float(stall_s))
+    else:
+        raise ValueError(f"unknown fleet chaos kind {kind!r}")
+
+
+def _pool_run_shard(task):
+    """What the pool actually runs: chaos hook, then the pure shard."""
+    _maybe_inject_chaos(task)
+    return run_shard(task)
+
+
+def run_fleet(spec, workers=None, submit_order=None, progress=None,
+              shard_retries=DEFAULT_SHARD_RETRIES, shard_timeout=None):
     """Run every host of ``spec`` and reduce to a FleetResult.
 
-    ``workers=1`` runs shards inline in this process (no pool), which
-    must — and does — fingerprint identically to any pooled run.
-    ``submit_order`` (a permutation of task indices) reorders pool
-    submission; it exists so the determinism tests can prove scheduling
-    order is irrelevant.  ``progress`` is an optional callable invoked
-    with each finished :class:`ShardResult` as it completes (completion
-    order — display only, never fed to the reduce).
+    ``workers=1`` runs shards inline in this process (no pool, no
+    retries — a worker death is impossible inline), which must — and
+    does — fingerprint identically to any pooled run.  ``submit_order``
+    (a permutation of task indices) reorders pool submission; it exists
+    so the determinism tests can prove scheduling order is irrelevant.
+    ``progress`` is an optional callable invoked with each finished
+    :class:`ShardResult` as it completes (completion order — display
+    only, never fed to the reduce).
+
+    ``shard_retries`` bounds re-runs per shard after a worker death or
+    timeout; ``shard_timeout`` (seconds, ``None`` = unbounded) bounds
+    how long the driver waits on any single shard before abandoning the
+    pool and retrying.  Per-host retry counts end up on
+    ``result.shard_retries`` — outside the fingerprint.
     """
     tasks = shard_tasks(spec)
     order = list(range(len(tasks)))
@@ -58,8 +142,11 @@ def run_fleet(spec, workers=None, submit_order=None, progress=None):
         workers = default_workers(len(tasks))
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
+    if shard_retries < 0:
+        raise ValueError(f"shard_retries must be >= 0: {shard_retries}")
 
     results = []
+    failures = defaultdict(int)
     if workers == 1:
         for index in order:
             result = run_shard(tasks[index])
@@ -67,11 +154,94 @@ def run_fleet(spec, workers=None, submit_order=None, progress=None):
                 progress(result)
             results.append(result)
     else:
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = [pool.submit(run_shard, tasks[i]) for i in order]
-            for future in futures:
-                result = future.result()
-                if progress is not None:
-                    progress(result)
-                results.append(result)
-    return reduce_shards(spec, results)
+        results = _run_pooled(
+            tasks, order, workers, progress, shard_retries,
+            shard_timeout, spec.seed, failures,
+        )
+    reduced = reduce_shards(spec, results)
+    reduced.shard_retries = {
+        host_id: count for host_id, count in sorted(failures.items())
+        if count
+    }
+    return reduced
+
+
+#: Failures that mean "the worker, not the shard": retryable.
+_POOL_FAILURES = (BrokenExecutor, OSError, FuturesTimeoutError,
+                  CancelledError)
+
+
+def _run_pooled(tasks, order, workers, progress, shard_retries,
+                shard_timeout, seed, failures):
+    """One parallel batch, then attributable isolation retries.
+
+    A dead worker breaks the *whole* pool — every in-flight future
+    raises ``BrokenProcessPool``, so inside a shared pool the guilty
+    shard cannot be told apart from its collateral victims.  The batch
+    round therefore charges every unfinished shard one (possibly
+    collateral) attempt, and all further retries run one shard per
+    fresh single-worker pool, where a failure is that shard's beyond
+    doubt — which is what lets :class:`ShardRetryExhausted` name the
+    actually-failing host.
+    """
+    backoff_rng = DeterministicRNG(seed, "fleet/retry")
+    results = []
+
+    def collect(result):
+        if progress is not None:
+            progress(result)
+        results.append(result)
+
+    requeue = []
+    cause = None
+    pool = ProcessPoolExecutor(max_workers=workers)
+    try:
+        futures = [
+            (i, pool.submit(_pool_run_shard, tasks[i])) for i in order
+        ]
+        broken = False
+        for index, future in futures:
+            try:
+                # Once the pool is known broken, only harvest futures
+                # that already finished (timeout=0); the rest requeue.
+                result = future.result(
+                    timeout=0 if broken else shard_timeout
+                )
+            except _POOL_FAILURES as exc:
+                broken = True
+                cause = cause or exc
+                requeue.append(index)
+            else:
+                collect(result)
+    finally:
+        # Never join dead or wedged workers: abandon the pool.
+        pool.shutdown(wait=False, cancel_futures=True)
+
+    for index in requeue:
+        host_id = tasks[index].host_id
+        failures[host_id] += 1  # the batch-round failure
+        while True:
+            if failures[host_id] > shard_retries:
+                raise ShardRetryExhausted(
+                    host_id, failures[host_id], cause
+                )
+            attempt = failures[host_id]
+            delay = min(
+                _BACKOFF_CAP_S,
+                _BACKOFF_BASE_S * (2 ** (attempt - 1)),
+            ) * (0.5 + float(backoff_rng.random()))
+            time.sleep(delay)
+            iso = ProcessPoolExecutor(max_workers=1)
+            try:
+                future = iso.submit(_pool_run_shard, tasks[index])
+                result = future.result(timeout=shard_timeout)
+            except _POOL_FAILURES as exc:
+                cause = exc
+                failures[host_id] += 1
+                continue
+            else:
+                collect(result)
+                break
+            finally:
+                iso.shutdown(wait=False, cancel_futures=True)
+    return results

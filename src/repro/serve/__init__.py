@@ -1,0 +1,55 @@
+"""Overload-robust live-traffic front-end over the merging stack.
+
+The serving tier turns the batch-oriented simulator into a long-running
+service: a stdlib-HTTP front-end (``server``) over one live merging
+world (``app``), wrapped in an overload-robustness layer — bounded
+admission with exact shed/accept accounting (``admission``), per-request
+deadline propagation (``deadline``), a circuit breaker around backend
+ops (``breaker``), deterministic chaos injection (``chaos``) — plus an
+open-loop Poisson load harness (``loadgen``) that measures goodput
+under overload and gates the robustness invariants.
+"""
+
+from repro.serve.admission import (
+    AdmissionController,
+    AdmissionStats,
+    ShedReason,
+    TokenBucket,
+)
+from repro.serve.app import MergeServiceApp
+from repro.serve.breaker import BreakerOpen, CircuitBreaker
+from repro.serve.chaos import InjectedBackendError, ServeChaos
+from repro.serve.config import ChaosProfile, ServeConfig
+from repro.serve.deadline import DEADLINE_HEADER, Deadline, DeadlineExceeded
+from repro.serve.loadgen import (
+    LoadGenResult,
+    LoadSpec,
+    measure_capacity,
+    run_loadgen,
+    run_overload_check,
+)
+from repro.serve.server import TENANT_HEADER, MergeServer
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionStats",
+    "BreakerOpen",
+    "ChaosProfile",
+    "CircuitBreaker",
+    "DEADLINE_HEADER",
+    "Deadline",
+    "DeadlineExceeded",
+    "InjectedBackendError",
+    "LoadGenResult",
+    "LoadSpec",
+    "MergeServer",
+    "MergeServiceApp",
+    "ServeChaos",
+    "ServeConfig",
+    "ShedReason",
+    "TENANT_HEADER",
+    "TokenBucket",
+    "measure_capacity",
+    "run_loadgen",
+    "run_overload_check",
+]

@@ -1,0 +1,118 @@
+"""Circuit breaker around backend operations.
+
+Classic three-state machine over an injectable monotonic clock:
+
+* **closed** — ops flow; consecutive failures are counted, and hitting
+  the threshold opens the breaker;
+* **open** — ops are refused instantly (the caller sheds with 503 +
+  Retry-After) until the cooldown elapses;
+* **half-open** — a bounded number of probe ops may pass; one success
+  closes the breaker, any failure re-opens it and restarts the
+  cooldown.
+
+The breaker exists so a stalling or faulting backend (chaos-injected or
+real) degrades the service to fast, honest 503s instead of a convoy of
+requests all discovering the stall serially — the queue stays available
+for work that can actually complete.
+"""
+
+import threading
+import time
+
+__all__ = [
+    "BreakerOpen",
+    "CircuitBreaker",
+]
+
+
+class BreakerOpen(RuntimeError):
+    """The breaker refused the operation (shed, do not execute)."""
+
+    def __init__(self, retry_after_s):
+        super().__init__(f"circuit open; retry after {retry_after_s:.2f}s")
+        self.retry_after_s = retry_after_s
+
+
+class CircuitBreaker:
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+    def __init__(self, threshold=5, cooldown_s=2.0, halfopen_probes=1,
+                 clock=time.monotonic):
+        if threshold < 1:
+            raise ValueError(f"threshold must be >= 1: {threshold}")
+        self.threshold = int(threshold)
+        self.cooldown_s = float(cooldown_s)
+        self.halfopen_probes = max(1, int(halfopen_probes))
+        self._clock = clock
+        self._lock = threading.Lock()
+        self.state = self.CLOSED
+        self._failures = 0
+        self._opened_at = 0.0
+        self._probes_inflight = 0
+        # Telemetry.
+        self.trips = 0
+        self.rejections = 0
+        self.probes = 0
+        self.recoveries = 0
+
+    # Decisions ------------------------------------------------------------------
+
+    def acquire(self):
+        """Gate one backend op; raises :class:`BreakerOpen` when refused.
+
+        Must be paired with exactly one of :meth:`record_success` /
+        :meth:`record_failure` when it returns (the half-open probe
+        slot is held until then).
+        """
+        with self._lock:
+            if self.state == self.OPEN:
+                waited = self._clock() - self._opened_at
+                if waited < self.cooldown_s:
+                    self.rejections += 1
+                    raise BreakerOpen(self.cooldown_s - waited)
+                self.state = self.HALF_OPEN
+                self._probes_inflight = 0
+            if self.state == self.HALF_OPEN:
+                if self._probes_inflight >= self.halfopen_probes:
+                    self.rejections += 1
+                    raise BreakerOpen(self.cooldown_s)
+                self._probes_inflight += 1
+                self.probes += 1
+
+    def record_success(self):
+        with self._lock:
+            if self.state == self.HALF_OPEN:
+                self.state = self.CLOSED
+                self.recoveries += 1
+            self._failures = 0
+            self._probes_inflight = 0
+
+    def record_failure(self):
+        with self._lock:
+            if self.state == self.HALF_OPEN:
+                self._trip()
+                return
+            self._failures += 1
+            if self._failures >= self.threshold:
+                self._trip()
+
+    def _trip(self):
+        self.state = self.OPEN
+        self.trips += 1
+        self._failures = 0
+        self._probes_inflight = 0
+        self._opened_at = self._clock()
+
+    # Telemetry ------------------------------------------------------------------
+
+    def metrics(self):
+        return {
+            "state": self.state,
+            "open": self.state == self.OPEN,
+            "trips": self.trips,
+            "rejections": self.rejections,
+            "probes": self.probes,
+            "recoveries": self.recoveries,
+        }

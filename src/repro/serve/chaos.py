@@ -1,0 +1,72 @@
+"""Deterministic backend chaos for the serving tier.
+
+Wired to the PR-1 fault-injection idiom: one named
+:class:`~repro.common.rng.DeterministicRNG` stream
+(``faults -> serve/backend``, same root as the DRAM line and
+replication link streams) realises a :class:`ChaosProfile`.  The same
+seed replays the same stall/error schedule, which is what makes the
+breaker lifecycle tests deterministic.
+
+Injection happens strictly *before* the backend op runs: an injected
+error aborts the op without touching simulator state, and a stall only
+sleeps.  Chaos can therefore trip the circuit breaker but can never
+corrupt merge state — the lifecycle tests assert the InvariantAuditor
+stays clean through a chaos storm.
+"""
+
+import time
+from dataclasses import dataclass
+
+from repro.common.rng import DeterministicRNG
+
+__all__ = [
+    "ChaosStats",
+    "InjectedBackendError",
+    "ServeChaos",
+]
+
+
+class InjectedBackendError(RuntimeError):
+    """A chaos-injected backend failure (maps to 500 / breaker failure)."""
+
+
+@dataclass
+class ChaosStats:
+    ops: int = 0
+    stalls: int = 0
+    errors: int = 0
+
+
+class ServeChaos:
+    """Realises one :class:`ChaosProfile` against backend operations."""
+
+    def __init__(self, profile, sleeper=time.sleep):
+        self.profile = profile
+        self.stats = ChaosStats()
+        self._sleeper = sleeper
+        self._rng = DeterministicRNG(
+            profile.seed, "faults"
+        ).derive("serve/backend")
+
+    def before_op(self, op_name):
+        """Draw once; stall or raise before the op touches sim state."""
+        self.stats.ops += 1
+        profile = self.profile
+        if not profile.active:
+            return
+        draw = float(self._rng.random())
+        if draw < profile.stall_prob:
+            self.stats.stalls += 1
+            self._sleeper(profile.stall_s)
+        elif draw < profile.stall_prob + profile.error_prob:
+            self.stats.errors += 1
+            raise InjectedBackendError(
+                f"injected backend error in {op_name!r}"
+            )
+
+    def metrics(self):
+        return {
+            "ops": self.stats.ops,
+            "stalls": self.stats.stalls,
+            "errors": self.stats.errors,
+        }

@@ -1,0 +1,178 @@
+"""``repro serve`` / ``repro loadgen`` argument wiring and bodies.
+
+Kept separate from :mod:`repro.cli` in the :mod:`repro.bench.cli`
+idiom: the top-level CLI pays only for argparse setup; the serving
+stack (and its numpy working sets) loads when a command actually runs.
+"""
+
+import json
+import sys
+
+
+def add_serve_parser(sub):
+    """Attach the ``serve`` subcommand to the top-level subparsers."""
+    p = sub.add_parser(
+        "serve",
+        help="run the live-traffic front-end over one merging world "
+             "(overload-robust: admission, deadlines, breaker, drain)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8017,
+                   help="listen port (0 = OS-assigned, printed on boot)")
+    p.add_argument("--backend", default="ksm",
+                   help="merge backend behind the data plane")
+    p.add_argument("--app", default="moses",
+                   help="TailBench memory profile for the initial VMs")
+    p.add_argument("--vms", type=int, default=2)
+    p.add_argument("--pages-per-vm", type=int, default=80)
+    p.add_argument("--seed", type=int, default=2017)
+    p.add_argument("--queue-depth", type=int, default=32,
+                   help="bounded admission queue (in-flight cap)")
+    p.add_argument("--slo-latency", type=float, default=0.5, metavar="S",
+                   help="EWMA latency SLO that arms load shedding")
+    p.add_argument("--deadline", type=float, default=1.0, metavar="S",
+                   help="default per-request budget when the client "
+                        "sends no deadline header")
+    p.add_argument("--tenant-qps", type=float, default=0.0,
+                   help="per-tenant token-bucket rate (0 = unlimited)")
+    p.add_argument("--drain-timeout", type=float, default=10.0,
+                   metavar="S")
+    p.add_argument("--metrics-out", metavar="PATH",
+                   help="atomically publish the final metrics snapshot "
+                        "here on drain")
+    p.add_argument("--chaos-stall", type=float, default=0.0,
+                   metavar="PROB", help="injected backend stall "
+                   "probability (deterministic, seeded)")
+    p.add_argument("--chaos-error", type=float, default=0.0,
+                   metavar="PROB", help="injected backend error "
+                   "probability (deterministic, seeded)")
+    p.set_defaults(func=cmd_serve)
+
+
+def _config_from_args(args):
+    from repro.serve.config import ChaosProfile, ServeConfig
+
+    return ServeConfig(
+        host=args.host, port=args.port, backend=args.backend,
+        app=args.app, n_vms=args.vms, pages_per_vm=args.pages_per_vm,
+        seed=args.seed, queue_depth=args.queue_depth,
+        slo_latency_s=args.slo_latency,
+        default_deadline_s=args.deadline,
+        tenant_rate_qps=args.tenant_qps,
+        drain_timeout_s=args.drain_timeout,
+        metrics_out=args.metrics_out,
+        chaos=ChaosProfile(
+            seed=args.seed, stall_prob=args.chaos_stall,
+            error_prob=args.chaos_error,
+        ),
+    )
+
+
+def cmd_serve(args):
+    from repro.serve.server import MergeServer
+
+    server = MergeServer(_config_from_args(args))
+    server.install_signal_handlers()
+    server.start()
+    print(f"serving {args.backend}/{args.app} on {server.base_url} "
+          f"(SIGTERM drains gracefully)", file=sys.stderr)
+    server.serve_until_drained()
+    print("drained cleanly", file=sys.stderr)
+    return 0
+
+
+def add_loadgen_parser(sub):
+    """Attach the ``loadgen`` subcommand to the top-level subparsers."""
+    p = sub.add_parser(
+        "loadgen",
+        help="open-loop Poisson load harness against a running server "
+             "(or --selfhost for the gated 2x overload check)",
+    )
+    p.add_argument("--url", metavar="BASE_URL",
+                   help="target server, e.g. http://127.0.0.1:8017")
+    p.add_argument("--selfhost", action="store_true",
+                   help="boot an in-process server, measure capacity, "
+                        "run the overload check, exit nonzero if any "
+                        "robustness invariant fails (the CI job)")
+    p.add_argument("--qps", type=float, default=200.0,
+                   help="target offered rate (ignored with --selfhost, "
+                        "which derives it from measured capacity)")
+    p.add_argument("--duration", type=float, default=2.0, metavar="S")
+    p.add_argument("--seed", type=int, default=2017)
+    p.add_argument("--tenants", type=int, default=1)
+    p.add_argument("--heavy-frac", type=float, default=0.1,
+                   help="fraction of requests that are heavy scan ops")
+    p.add_argument("--deadline-ms", type=int, default=1000)
+    p.add_argument("--overload-factor", type=float, default=2.0,
+                   help="selfhost: offered load as a multiple of "
+                        "measured capacity")
+    p.add_argument("--goodput-floor", type=float, default=0.5,
+                   help="selfhost: minimum goodput/capacity ratio")
+    p.add_argument("--out-dir", metavar="DIR",
+                   help="publish per-run results (spec/summary/requests) "
+                        "under DIR, atomically")
+    p.set_defaults(func=cmd_loadgen)
+
+
+def cmd_loadgen(args):
+    if args.selfhost:
+        return _cmd_selfhost(args)
+    if not args.url:
+        print("error: --url or --selfhost is required", file=sys.stderr)
+        return 2
+    from repro.serve.loadgen import LoadSpec, run_loadgen
+
+    spec = LoadSpec(
+        target_qps=args.qps, duration_s=args.duration, seed=args.seed,
+        tenants=args.tenants, heavy_frac=args.heavy_frac,
+        deadline_ms=args.deadline_ms, out_dir=args.out_dir,
+    )
+    result = run_loadgen(spec, args.url)
+    _print_result(result)
+    return 0 if result.accounting_exact else 1
+
+
+def _cmd_selfhost(args):
+    """Boot, overload, gate — the one-command CI robustness check."""
+    from repro.serve.config import ServeConfig
+    from repro.serve.loadgen import run_overload_check
+    from repro.serve.server import MergeServer
+    from repro.verify.invariants import InvariantAuditor
+
+    auditor = InvariantAuditor()
+    config = ServeConfig(port=0, seed=args.seed)
+    server = MergeServer(config, auditor=auditor).start()
+    try:
+        verdict = run_overload_check(
+            server, overload_factor=args.overload_factor,
+            duration_s=args.duration,
+            goodput_floor=args.goodput_floor, seed=args.seed,
+            out_dir=args.out_dir,
+        )
+    finally:
+        server.drain(timeout=config.drain_timeout_s + 5.0)
+    _print_result(verdict.result)
+    print(f"capacity          {verdict.capacity_qps:10.1f} qps")
+    print(f"goodput ratio     {verdict.goodput_ratio:10.3f} "
+          f"(floor {verdict.goodput_floor:.2f}) "
+          f"{'ok' if verdict.goodput_floor_ok else 'FAIL'}")
+    print(f"accounting exact  {verdict.accounting_exact}")
+    print(f"deadline violations (accepted) {verdict.deadline_violations}")
+    print(f"auditor clean     {auditor.clean}")
+    ok = verdict.ok and auditor.clean
+    print("overload check: " + ("PASS" if ok else "FAIL"))
+    return 0 if ok else 1
+
+
+def _print_result(result):
+    print(f"offered           {result.offered:10d}")
+    print(f"accepted          {result.accepted:10d}")
+    print(f"shed              {result.shed:10d}")
+    print(f"failed            {result.failed:10d}")
+    print(f"transport errors  {result.transport_errors:10d}")
+    print(f"achieved          {result.achieved_qps:10.1f} qps offered")
+    print(f"goodput           {result.goodput_qps:10.1f} qps")
+    latency = {k: round(v, 4) for k, v in result.latency.items()}
+    print(f"latency (s)       {json.dumps(latency, sort_keys=True)}")
+    if result.out_dir:
+        print(f"results           {result.out_dir}")

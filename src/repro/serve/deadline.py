@@ -1,0 +1,77 @@
+"""Per-request deadlines: parse, propagate, enforce.
+
+A deadline is a budget, not a timestamp: the client sends the budget it
+is willing to wait (``X-Repro-Deadline-Ms``) and the server starts the
+clock when the request arrives.  Every blocking step downstream —
+queueing for the engine, the backend op itself, the final send — checks
+``remaining()`` so a request that can no longer make its deadline is
+cancelled where it stands instead of burning engine time on a response
+nobody will read.  The server-side invariant the bench suite gates:
+**no 200 response is ever sent after its deadline has passed** — a
+too-late success is converted to 504 and accounted as failed.
+"""
+
+import time
+
+__all__ = [
+    "DEADLINE_HEADER",
+    "Deadline",
+    "DeadlineExceeded",
+]
+
+#: Budget header, in integer milliseconds.
+DEADLINE_HEADER = "X-Repro-Deadline-Ms"
+
+
+class DeadlineExceeded(RuntimeError):
+    """The request's budget ran out before the work (or reply) finished."""
+
+
+class Deadline:
+    """One request's time budget against an injectable monotonic clock."""
+
+    __slots__ = ("budget_s", "start_s", "_clock")
+
+    def __init__(self, budget_s, clock=time.monotonic):
+        if budget_s <= 0:
+            raise ValueError(f"deadline budget must be positive: {budget_s}")
+        self.budget_s = float(budget_s)
+        self._clock = clock
+        self.start_s = clock()
+
+    @classmethod
+    def from_header(cls, value, default_s, max_s, clock=time.monotonic):
+        """Parse the client's budget header; clamp to the server cap.
+
+        A missing header gets the server default; a malformed or
+        non-positive value raises ``ValueError`` (the caller maps it to
+        400 — a garbled deadline must not silently become the default).
+        """
+        if value is None:
+            return cls(default_s, clock=clock)
+        budget_s = int(value) / 1e3  # ValueError on garbage propagates
+        if budget_s <= 0:
+            raise ValueError(f"non-positive deadline: {value!r}")
+        return cls(min(budget_s, max_s), clock=clock)
+
+    def header_value(self):
+        """The *remaining* budget as a header value (propagation)."""
+        return str(max(1, int(self.remaining() * 1e3)))
+
+    def elapsed(self):
+        return self._clock() - self.start_s
+
+    def remaining(self):
+        return self.budget_s - self.elapsed()
+
+    @property
+    def expired(self):
+        return self.remaining() <= 0.0
+
+    def check(self, where=""):
+        """Raise :class:`DeadlineExceeded` if the budget is gone."""
+        if self.expired:
+            raise DeadlineExceeded(
+                f"deadline of {self.budget_s:.3f}s exceeded"
+                + (f" at {where}" if where else "")
+            )

@@ -48,26 +48,34 @@ class KSMTimingStats:
         )
 
 
-def summarize(values):
+def summarize(values, percentiles=(95,)):
     """Collapse a sample list into flat summary scalars.
 
     Providers must expose scalars (``_flatten`` drops lists), so
     distribution-shaped telemetry — replication lag samples, latency
-    histories — goes through this: ``{"count", "mean", "min", "max",
-    "p95"}``.  An empty sample yields all-zero stats rather than NaNs.
+    histories — goes through this: ``{"count", "mean", "min", "max"}``
+    plus one ``p<N>`` key per requested percentile (default ``p95``,
+    matching the historical shape).  Fractional percentiles keep their
+    shortest spelling (``p99.9``).  An empty sample yields all-zero
+    stats rather than NaNs.
     """
     values = [float(v) for v in values]
+    keys = [f"p{float(p):g}" for p in percentiles]
     if not values:
-        return {"count": 0, "mean": 0.0, "min": 0.0, "max": 0.0, "p95": 0.0}
+        out = {"count": 0, "mean": 0.0, "min": 0.0, "max": 0.0}
+        out.update({key: 0.0 for key in keys})
+        return out
     ordered = sorted(values)
-    rank = min(len(ordered) - 1, int(0.95 * len(ordered)))
-    return {
+    out = {
         "count": len(ordered),
         "mean": sum(ordered) / len(ordered),
         "min": ordered[0],
         "max": ordered[-1],
-        "p95": ordered[rank],
     }
+    for p, key in zip(percentiles, keys):
+        rank = min(len(ordered) - 1, int(float(p) / 100.0 * len(ordered)))
+        out[key] = ordered[rank]
+    return out
 
 
 def _flatten(prefix, value, out):

@@ -1,0 +1,127 @@
+"""Fleet driver fault tolerance: worker death, stalls, retry budgets.
+
+Worker chaos is injected through the ``REPRO_FLEET_CHAOS`` env var
+(read in the *child* process — monkeypatching cannot cross the process
+boundary), with a marker directory counting injections so the attempt
+after the budgeted failures runs clean.
+"""
+
+import pytest
+
+from repro.fleet import FleetSpec, HostSpec, ShardRetryExhausted, run_fleet
+from repro.fleet.runner import _CHAOS_ENV
+
+pytestmark = pytest.mark.slow
+
+
+def small_spec(n_hosts=3, seed=77):
+    return FleetSpec(
+        hosts=tuple(
+            HostSpec(host_id=i, backend="pageforge", app="moses",
+                     n_vms=1, pages_per_vm=20)
+            for i in range(n_hosts)
+        ),
+        seed=seed, duration_s=0.02, warmup_s=0.02,
+    )
+
+
+def chaos(monkeypatch, tmp_path, kind, host_id, times, stall_s=0.0):
+    markers = tmp_path / "chaos-markers"
+    markers.mkdir(exist_ok=True)
+    monkeypatch.setenv(
+        _CHAOS_ENV, f"{kind}:{host_id}:{times}:{stall_s}:{markers}"
+    )
+
+
+class TestWorkerDeath:
+    def test_retry_recovers_and_fingerprint_unchanged(
+            self, monkeypatch, tmp_path):
+        spec = small_spec()
+        clean = run_fleet(spec, workers=1)
+        assert clean.shard_retries == {}
+
+        chaos(monkeypatch, tmp_path, "die", host_id=1, times=1)
+        retried = run_fleet(spec, workers=2, shard_retries=3)
+
+        # The re-run is exactly equivalent to a clean run...
+        assert retried.fingerprint == clean.fingerprint
+        # ...and the retry ledger is outside the fingerprint but on
+        # the result.  The batch round cannot attribute a dead worker,
+        # so collateral shards may be charged one attempt too; the
+        # actually-killed host must be among them.
+        assert retried.shard_retries.get(1, 0) >= 1
+        assert retried.total_shard_retries >= 1
+        assert "shard_retries" not in retried.to_dict()
+
+    def test_budget_exhaustion_names_the_guilty_host(
+            self, monkeypatch, tmp_path):
+        spec = small_spec()
+        # The shard dies more times than the budget allows.
+        chaos(monkeypatch, tmp_path, "die", host_id=1, times=10)
+        with pytest.raises(ShardRetryExhausted) as exc_info:
+            run_fleet(spec, workers=2, shard_retries=2)
+        # Isolation retries pin the blame exactly: host 1, not a
+        # collateral victim of the broken shared pool.
+        assert exc_info.value.host_id == 1
+        assert exc_info.value.attempts == 3  # batch + 2 isolation
+        assert "host 1" in str(exc_info.value)
+
+
+class TestStalledWorker:
+    def test_shard_timeout_retries_stalled_shard(
+            self, monkeypatch, tmp_path):
+        spec = small_spec()
+        clean = run_fleet(spec, workers=1)
+        # One 60s stall against a 10s per-shard timeout (a clean shard
+        # including child startup runs in a couple of seconds): the
+        # first attempt is abandoned, the second (chaos spent) runs
+        # clean.
+        chaos(monkeypatch, tmp_path, "stall", host_id=2, times=1,
+              stall_s=60.0)
+        retried = run_fleet(
+            spec, workers=2, shard_retries=3, shard_timeout=10.0,
+        )
+        assert retried.fingerprint == clean.fingerprint
+        assert retried.shard_retries.get(2, 0) >= 1
+
+
+class TestRetryPlumbing:
+    def test_inline_run_ignores_retry_machinery(
+            self, monkeypatch, tmp_path):
+        # workers=1 runs shards in-process: worker death is
+        # impossible, chaos targets the pool path only.
+        spec = small_spec(n_hosts=2)
+        result = run_fleet(spec, workers=1, shard_retries=0)
+        assert result.shard_retries == {}
+
+    def test_negative_retry_budget_rejected(self):
+        with pytest.raises(ValueError):
+            run_fleet(small_spec(n_hosts=1), workers=2,
+                      shard_retries=-1)
+
+    def test_zero_budget_fails_on_first_death(
+            self, monkeypatch, tmp_path):
+        spec = small_spec(n_hosts=2)
+        chaos(monkeypatch, tmp_path, "die", host_id=0, times=1)
+        with pytest.raises(ShardRetryExhausted):
+            run_fleet(spec, workers=2, shard_retries=0)
+
+
+class TestExportCarriesRetries:
+    def test_fleet_csv_rows_report_retries(
+            self, monkeypatch, tmp_path):
+        from repro.analysis.export import fleet_to_rows
+
+        spec = small_spec()
+        chaos(monkeypatch, tmp_path, "die", host_id=1, times=1)
+        result = run_fleet(spec, workers=2, shard_retries=3)
+        rows = fleet_to_rows(result)
+        host_rows = [r for r in rows if r["row"] == "host"]
+        total = rows[-1]
+        assert total["row"] == "fleet"
+        assert total["shard_retries"] == result.total_shard_retries
+        by_host = {r["host_id"]: r["shard_retries"] for r in host_rows}
+        assert by_host[1] == result.shard_retries.get(1, 0)
+        # Retries are provenance, never identity: the fingerprint in
+        # the export is the clean run's.
+        assert total["fingerprint"] == result.fingerprint

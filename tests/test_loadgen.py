@@ -1,0 +1,132 @@
+"""Open-loop load harness: determinism, exact accounting, overload."""
+
+import json
+
+import pytest
+
+from repro.serve import (
+    LoadSpec,
+    MergeServer,
+    ServeConfig,
+    measure_capacity,
+    run_loadgen,
+    run_overload_check,
+)
+from repro.serve.loadgen import _build_schedule
+
+pytestmark = pytest.mark.slow
+
+
+class TestSchedule:
+    def test_deterministic_for_a_seed(self):
+        spec = LoadSpec(target_qps=100, duration_s=1.0, seed=42,
+                        tenants=3, heavy_frac=0.3)
+        assert _build_schedule(spec) == _build_schedule(spec)
+
+    def test_seed_changes_schedule(self):
+        base = LoadSpec(target_qps=100, duration_s=1.0, seed=1)
+        other = LoadSpec(target_qps=100, duration_s=1.0, seed=2)
+        assert _build_schedule(base) != _build_schedule(other)
+
+    def test_open_loop_rate_and_shape(self):
+        spec = LoadSpec(target_qps=200, duration_s=2.0, seed=7,
+                        tenants=2, heavy_frac=0.25)
+        schedule = _build_schedule(spec)
+        # Poisson arrivals: expect ~400 +- a few sigma.
+        assert 300 < len(schedule) < 500
+        arrivals = [at for _, at, _, _ in schedule]
+        assert arrivals == sorted(arrivals)
+        assert all(0 <= at < spec.duration_s for at in arrivals)
+        heavy = sum(1 for _, _, is_heavy, _ in schedule if is_heavy)
+        assert 0 < heavy < len(schedule)
+        tenants = {tenant for _, _, _, tenant in schedule}
+        assert tenants <= {"tenant0", "tenant1"}
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            LoadSpec(target_qps=0)
+        with pytest.raises(ValueError):
+            LoadSpec(heavy_frac=1.5)
+        with pytest.raises(ValueError):
+            LoadSpec(tenants=0)
+
+
+@pytest.fixture(scope="module")
+def server():
+    config = ServeConfig(port=0, n_vms=2, pages_per_vm=40,
+                         queue_depth=16)
+    srv = MergeServer(config).start()
+    yield srv
+    srv.close()
+
+
+class TestRunLoadgen:
+    def test_accounting_exact_and_results_atomic(self, server, tmp_path):
+        spec = LoadSpec(target_qps=60, duration_s=1.0, seed=2017,
+                        tenants=2, heavy_frac=0.1, heavy_pages=100,
+                        out_dir=str(tmp_path))
+        result = run_loadgen(spec, server.base_url)
+
+        assert result.offered == len(_build_schedule(spec))
+        assert result.offered > 0
+        assert result.accounting_exact
+        assert result.transport_errors == 0
+        assert result.accepted_over_deadline == 0
+        # Latency summary carries the tail percentiles.
+        for key in ("p50", "p90", "p99", "p99.9"):
+            assert key in result.latency
+
+        # The run dir was published atomically and completely.
+        run_dirs = list(tmp_path.iterdir())
+        assert len(run_dirs) == 1
+        names = {p.name for p in run_dirs[0].iterdir()}
+        assert names == {"spec.json", "summary.json", "requests.csv"}
+        summary = json.loads((run_dirs[0] / "summary.json").read_text())
+        assert summary["offered"] == result.offered
+        assert not list(tmp_path.glob("**/*.tmp"))
+
+    def test_second_run_accounts_against_its_own_delta(self, server):
+        # Counters on the server are cumulative; each run must diff
+        # its own before/after snapshots or accounting breaks on any
+        # server that has already seen traffic.
+        spec = LoadSpec(target_qps=40, duration_s=0.5, seed=99)
+        first = run_loadgen(spec, server.base_url)
+        second = run_loadgen(spec, server.base_url)
+        assert first.accounting_exact and second.accounting_exact
+
+
+class TestCapacity:
+    def test_probe_measures_positive_throughput(self, server):
+        qps = measure_capacity(server.base_url, probe_s=0.4)
+        assert qps > 10
+
+
+class TestOverload:
+    def test_overload_verdict_invariants(self, tmp_path):
+        config = ServeConfig(port=0, n_vms=2, pages_per_vm=40)
+        srv = MergeServer(config).start()
+        try:
+            # Probe and run long enough that the goodput ratio has
+            # statistical margin over the floor; shorter windows sit
+            # right at it and flake.
+            verdict = run_overload_check(
+                srv, overload_factor=2.0, probe_s=1.0,
+                duration_s=2.0, heavy_frac=0.5, heavy_pages=200,
+                out_dir=str(tmp_path),
+            )
+            result = verdict.result
+            # The three gates of the robustness story:
+            assert result.accounting_exact
+            assert verdict.deadline_violations == 0
+            assert verdict.goodput_floor_ok, (
+                f"goodput ratio {verdict.goodput_ratio:.3f} under "
+                f"floor {verdict.goodput_floor}"
+            )
+            assert verdict.ok
+            # Genuine overload: the offered rate beat capacity, so
+            # some requests must have been turned away.
+            assert verdict.overload_factor == 2.0
+            assert result.offered > 0
+            assert result.shed + result.failed > 0
+        finally:
+            srv.drain(timeout=10)
