@@ -166,6 +166,9 @@ def fleet_to_rows(result):
         "backend": "+".join(sorted(result.by_backend)),
         "app": "",
         "seed": result.seed,
+        "scenario": "+".join(sorted(
+            {host["scenario"] for host in result.per_host}
+        )),
         "queries": result.queries,
         "mean_sojourn_s": result.mean_sojourn_s,
         "p95_sojourn_s": result.p95_sojourn_s_max,

@@ -572,6 +572,65 @@ def bench_serve(quick):
     ]
 
 
+# Scenario registry / serverless cold-start ----------------------------------
+
+
+@suite("scenarios")
+def bench_scenarios(quick):
+    """Serverless cold-start savings vs merge latency, hinted vs not.
+
+    Runs the :func:`~repro.scenarios.run_cold_start_study` twice-built
+    sandbox fleet (hinted and unhinted) under the invariant auditor and
+    gates the scenario tier's headline numbers:
+
+    * ``cold_start_savings_frac`` — fraction of the reclaimable
+      footprint the hinted fast path recovers in its *first* scan
+      interval (the cold-start window);
+    * ``hint_speedup`` — unhinted/hinted intervals-to-steady-state;
+    * ``auditor_clean`` / ``footprints_equal`` — determinism bits:
+      hinted merging obeys every frame-accounting invariant and
+      converges to the exact same footprint as the unhinted run.
+
+    All four are seed-pinned bits or deterministic interval counts —
+    machine speed never enters them, so they are safe CI gates.
+    """
+    from repro.scenarios import available_scenarios, run_cold_start_study
+
+    n_sandboxes = 4 if quick else 8
+    pages_per_vm = 64 if quick else 96
+    holder = {}
+
+    def run():
+        holder["study"] = run_cold_start_study(
+            backend="ksm", n_sandboxes=n_sandboxes,
+            pages_per_vm=pages_per_vm, seed=2017,
+        )
+
+    elapsed = measure_once_ns(run)
+    study = holder["study"]
+    accepted_frac = (
+        study.hints_accepted / study.hints_offered
+        if study.hints_offered else 0.0
+    )
+    return [
+        Metric("scenarios.registered", float(len(available_scenarios())),
+               "count"),
+        Metric("scenarios.study_run_ns", elapsed, "ns",
+               higher_is_better=False),
+        Metric("scenarios.serverless_cold_start_savings_frac",
+               study.cold_start_savings_frac, "frac", gate=True),
+        Metric("scenarios.serverless_unhinted_savings_frac",
+               study.unhinted_cold_start_savings_frac, "frac"),
+        Metric("scenarios.serverless_hint_speedup", study.hint_speedup,
+               "x", gate=True),
+        Metric("scenarios.hints_accepted_frac", accepted_frac, "frac"),
+        Metric("scenarios.auditor_clean", float(study.auditor_clean),
+               "bool", gate=True),
+        Metric("scenarios.footprints_equal",
+               float(study.footprints_equal), "bool", gate=True),
+    ]
+
+
 @suite("e2e_fig9")
 def bench_e2e_fig9(quick):
     """One short Figure 9 latency experiment (all three modes)."""

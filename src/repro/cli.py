@@ -46,6 +46,7 @@ from repro.analysis.export import (
 )
 from repro.bench.cli import add_bench_parser
 from repro.common.config import TAILBENCH_APPS, default_machine_config
+from repro.scenarios import available_scenarios
 from repro.serve.cli import add_loadgen_parser, add_serve_parser
 from repro.sim.backends import available_backends, recoverable_backends
 
@@ -156,6 +157,13 @@ def cmd_run(args):
             return 2
         if mode not in modes:
             modes.append(mode)
+    if args.scenario not in available_scenarios():
+        print(
+            f"error: unknown scenario {args.scenario!r}; registered "
+            f"scenarios: {', '.join(available_scenarios())}",
+            file=sys.stderr,
+        )
+        return 2
     if "baseline" not in modes:
         # The normalisation reference every summary row divides by.
         modes.insert(0, "baseline")
@@ -166,10 +174,12 @@ def cmd_run(args):
     )
     results = []
     for app in args.apps:
-        print(f"running {app} ({', '.join(modes)}) ...", file=sys.stderr)
+        print(f"running {app} ({', '.join(modes)}) "
+              f"[scenario {args.scenario}] ...", file=sys.stderr)
         results.append(
             run_latency_experiment(
                 app, modes=tuple(modes), scale=scale, seed=args.seed,
+                scenario=args.scenario,
             )
         )
 
@@ -199,11 +209,13 @@ def cmd_fleet(args):
     from repro.fleet import FleetSpec, ShardRetryExhausted, run_fleet
 
     backends = args.backend or ["ksm"]
+    scenarios = args.scenario or ["steady_state"]
     try:
         spec = FleetSpec.heterogeneous(
             args.shards, backends, app=args.app, n_vms=args.vms,
             pages_per_vm=args.pages_per_vm, seed=args.seed,
             duration_s=args.duration, warmup_s=args.warmup,
+            scenarios=scenarios,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -524,6 +536,10 @@ def build_parser():
                    help="merge backend to simulate (repeatable; default: "
                         "baseline ksm pageforge; see also: "
                         + ", ".join(available_backends()))
+    p.add_argument("--scenario", default="steady_state",
+                   help="registered workload scenario (default "
+                        "steady_state; see also: "
+                        + ", ".join(available_scenarios()))
     p.add_argument("--pages-per-vm", type=int, default=400)
     p.add_argument("--vms", type=int, default=4)
     p.add_argument("--duration", type=float, default=0.3)
@@ -546,6 +562,12 @@ def build_parser():
                         "fleet (hosts cycle through the list; default "
                         "ksm; see also: "
                         + ", ".join(available_backends()))
+    p.add_argument("--scenario", action="append",
+                   help="workload scenario; repeat to mix scenarios "
+                        "across hosts (hosts cycle through the list, "
+                        "independently of --backend; default "
+                        "steady_state; see also: "
+                        + ", ".join(available_scenarios()))
     p.add_argument("--app", default="moses", choices=list(TAILBENCH_APPS))
     p.add_argument("--vms", type=int, default=4,
                    help="VMs per host")

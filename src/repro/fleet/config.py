@@ -29,6 +29,7 @@ from dataclasses import dataclass, field, replace
 from typing import Optional, Tuple
 
 from repro.common.config import TAILBENCH_APPS
+from repro.scenarios import available_scenarios, get_scenario
 from repro.sim.backends import available_backends, get_backend
 
 __all__ = [
@@ -67,6 +68,7 @@ class HostSpec:
     n_vms: int = 4
     pages_per_vm: int = 200
     seed: Optional[int] = None
+    scenario: str = "steady_state"
 
     def resolve_seed(self, fleet_seed):
         return self.seed if self.seed is not None else shard_seed(
@@ -75,6 +77,7 @@ class HostSpec:
 
     def validate(self):
         get_backend(self.backend)  # ValueError lists the registry
+        get_scenario(self.scenario)  # likewise for scenarios
         if self.app not in TAILBENCH_APPS:
             raise ValueError(
                 f"unknown app {self.app!r}; known apps: "
@@ -124,11 +127,11 @@ class FleetSpec:
     @classmethod
     def uniform(cls, n_shards, backend="ksm", app="moses", n_vms=4,
                 pages_per_vm=200, seed=2017, duration_s=0.3,
-                warmup_s=0.4):
+                warmup_s=0.4, scenario="steady_state"):
         """A homogeneous fleet: ``n_shards`` identical-shape hosts."""
         hosts = tuple(
             HostSpec(host_id=i, backend=backend, app=app, n_vms=n_vms,
-                     pages_per_vm=pages_per_vm)
+                     pages_per_vm=pages_per_vm, scenario=scenario)
             for i in range(n_shards)
         )
         return cls(seed=seed, hosts=hosts, duration_s=duration_s,
@@ -137,13 +140,15 @@ class FleetSpec:
     @classmethod
     def heterogeneous(cls, n_shards, backends, app="moses", n_vms=4,
                       pages_per_vm=200, seed=2017, duration_s=0.3,
-                      warmup_s=0.4):
+                      warmup_s=0.4, scenarios=("steady_state",)):
         """A mixed fleet: hosts cycle through ``backends`` in order.
 
         ``backends=("ksm", "pageforge", "esx")`` with 5 shards yields
         hosts running ksm, pageforge, esx, ksm, pageforge — the mixed-
         tier placement shape (CARAM-style) the CLI's repeatable
-        ``--backend`` flag builds.
+        ``--backend`` flag builds.  ``scenarios`` cycles the same way
+        and independently, so heterogeneous fleets mix workloads
+        exactly as they mix backends.
         """
         backends = tuple(backends)
         if not backends:
@@ -154,9 +159,19 @@ class FleetSpec:
                 f"unknown merge backend(s) {', '.join(unknown)}; "
                 f"registered backends: {', '.join(available_backends())}"
             )
+        scenarios = tuple(scenarios)
+        if not scenarios:
+            raise ValueError("need at least one scenario")
+        unknown = [s for s in scenarios if s not in available_scenarios()]
+        if unknown:
+            raise ValueError(
+                f"unknown scenario(s) {', '.join(unknown)}; "
+                f"registered scenarios: {', '.join(available_scenarios())}"
+            )
         hosts = tuple(
             HostSpec(host_id=i, backend=backends[i % len(backends)],
-                     app=app, n_vms=n_vms, pages_per_vm=pages_per_vm)
+                     app=app, n_vms=n_vms, pages_per_vm=pages_per_vm,
+                     scenario=scenarios[i % len(scenarios)])
             for i in range(n_shards)
         )
         return cls(seed=seed, hosts=hosts, duration_s=duration_s,

@@ -158,6 +158,7 @@ def _host_row(r):
         "backend": r.backend,
         "app": r.app,
         "seed": r.seed,
+        "scenario": r.scenario,
         "queries": r.queries,
         "mean_sojourn_s": r.mean_sojourn_s,
         "p95_sojourn_s": r.p95_sojourn_s,

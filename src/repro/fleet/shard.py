@@ -67,6 +67,7 @@ class ShardTask:
     seed: int
     duration_s: float
     warmup_s: float
+    scenario: str = "steady_state"
 
 
 def shard_tasks(spec: FleetSpec):
@@ -82,6 +83,7 @@ def shard_tasks(spec: FleetSpec):
             seed=host.resolve_seed(spec.seed),
             duration_s=spec.duration_s,
             warmup_s=spec.warmup_s,
+            scenario=host.scenario,
         )
         for host in spec.hosts
     ]
@@ -104,6 +106,7 @@ class ShardResult:
     summary: Dict[str, object]
     metrics: Dict[str, object]
     digest_counts: Dict[str, int]
+    scenario: str = "steady_state"
     guest_pages: int = 0
     footprint_pages: int = 0
     merges: int = 0
@@ -143,7 +146,7 @@ def run_shard(task: ShardTask) -> ShardResult:
         duration_s=task.duration_s, warmup_s=task.warmup_s,
     )
     system = ServerSystem(app, mode=task.backend, scale=scale,
-                          seed=task.seed)
+                          seed=task.seed, scenario=task.scenario)
     collector = system.run()
     shares = system.kernel_shares()
     peak, breakdown, _start = system.bandwidth_peak()
@@ -167,6 +170,7 @@ def run_shard(task: ShardTask) -> ShardResult:
         backend=task.backend,
         app=task.app,
         seed=task.seed,
+        scenario=task.scenario,
         summary=asdict(summary),
         metrics=system.metrics.snapshot(),
         digest_counts=frame_digest_counts(hyp),

@@ -143,6 +143,7 @@ class KSMDaemon:
         # as hook(self) after every scan interval, when tree and frame
         # state is quiescent and safe to traverse.
         self.audit_hook = None
+        self.hints_accepted = 0
 
     # Checksums -------------------------------------------------------------------
 
@@ -272,6 +273,39 @@ class KSMDaemon:
         self.unstable_tree.reset()
         self._pass_index += 1
         self._pass_merges_at_start = self.total_merges
+
+    # User-guided merge hints -------------------------------------------------------
+
+    def enqueue_hints(self, hints):
+        """Jump hinted pages to the front of the scan queue, pre-keyed.
+
+        Each accepted ``(vm_id, gpn)`` is prepended to the current pass
+        queue with its checksum recorded as if a previous pass had
+        already seen the page unchanged, so the stability gate
+        (Algorithm 1 line 22) passes on first scan and a hinted
+        duplicate merges in one scan instead of two passes.  Unmapped,
+        unmergeable, and already-CoW pages are rejected; the guest only
+        *suggests*, the daemon still verifies content before merging.
+
+        Returns the number of hints accepted.
+        """
+        accepted = 0
+        for vm_id, gpn in reversed(list(hints)):
+            vm = self.hypervisor.vms.get(vm_id)
+            if vm is None:
+                continue
+            mapping = vm.lookup(gpn)
+            if mapping is None or not mapping.mergeable or mapping.cow:
+                continue
+            candidate = _Candidate(vm_id, gpn)
+            frame = self.hypervisor.memory.frame(mapping.ppn)
+            self._checksums[candidate] = self.checksum_fn(frame)
+            # reversed() above makes repeated appendleft preserve the
+            # caller's hint order at the queue front.
+            self._pass_queue.appendleft(candidate)
+            accepted += 1
+        self.hints_accepted += accepted
+        return accepted
 
     # Tree search with stale pruning ------------------------------------------------
 

@@ -105,6 +105,7 @@ class ESXStyleMerger:
         # key -> list of stable PPNs holding that key's contents
         self._buckets = {}
         self._queue = []
+        self.hints_accepted = 0
 
     # Bucket maintenance ----------------------------------------------------------
 
@@ -124,6 +125,30 @@ class ESXStyleMerger:
         for vm in self.hypervisor.vms.values():
             for mapping in vm.mergeable_mappings():
                 yield vm, mapping
+
+    # User-guided merge hints -------------------------------------------------------
+
+    def apply_hints(self, hints):
+        """Prepend hinted ``(vm_id, gpn)`` pages to the scan queue.
+
+        ESX has no stability gate, so queue position *is* the whole fast
+        path: a hinted page is keyed, bucketed, and merged in the first
+        scan interval instead of whenever the pass reaches it.  Unmapped,
+        unmergeable, and already-CoW pages are rejected.  Returns the
+        number of hints accepted.
+        """
+        items = []
+        for vm_id, gpn in hints:
+            vm = self.hypervisor.vms.get(vm_id)
+            if vm is None:
+                continue
+            mapping = vm.lookup(gpn)
+            if mapping is None or not mapping.mergeable or mapping.cow:
+                continue
+            items.append((vm, mapping))
+        self._queue[:0] = items
+        self.hints_accepted += len(items)
+        return len(items)
 
     # One pass ---------------------------------------------------------------------
 

@@ -1,0 +1,38 @@
+"""Workload scenarios: named, registered workload configurations.
+
+Public surface:
+
+* :func:`register_scenario` / :func:`available_scenarios` /
+  :func:`get_scenario` — the registry (mirrors
+  :mod:`repro.sim.backends.registry`);
+* :class:`WorkloadModel` — the per-layer port protocol scenarios
+  implement;
+* :class:`ScenarioSpec` — a parametrized scenario instantiation (the
+  seeded world factory);
+* the built-in scenarios: ``steady_state``, ``tailbench``, ``churn``,
+  ``serverless`` (importing this package registers them).
+"""
+
+from repro.scenarios.base import ScenarioSpec, WorkloadModel
+from repro.scenarios.registry import (
+    available_scenarios,
+    get_scenario,
+    register_scenario,
+)
+
+# Importing the scenario modules is what registers them.
+from repro.scenarios import churn  # noqa: F401  (registration import)
+from repro.scenarios import serverless  # noqa: F401
+from repro.scenarios import steady_state  # noqa: F401
+from repro.scenarios import tailbench  # noqa: F401
+from repro.scenarios.serverless import ColdStartStudy, run_cold_start_study
+
+__all__ = [
+    "ColdStartStudy",
+    "ScenarioSpec",
+    "WorkloadModel",
+    "available_scenarios",
+    "get_scenario",
+    "register_scenario",
+    "run_cold_start_study",
+]

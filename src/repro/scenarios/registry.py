@@ -1,0 +1,40 @@
+"""The workload-scenario registry.
+
+Mirrors :mod:`repro.sim.backends.registry`: scenarios self-register via
+the ``@register_scenario`` decorator, callers resolve names with
+:func:`get_scenario`, and an unknown name fails with the full list of
+registered scenarios so CLI errors are actionable.  Registering a
+scenario is the *only* step needed to make it available to ``repro
+run``, ``repro fleet``, ``repro loadgen``, the scenario-matrix CI job,
+and the determinism property suite.
+"""
+
+_REGISTRY = {}
+
+
+def register_scenario(name):
+    """Class decorator: register a WorkloadModel under ``name``."""
+
+    def deco(cls):
+        cls.name = name
+        _REGISTRY[name] = cls
+        return cls
+
+    return deco
+
+
+def available_scenarios():
+    """Sorted tuple of registered scenario names."""
+    return tuple(sorted(_REGISTRY))
+
+
+def get_scenario(name):
+    """Resolve a scenario name to its WorkloadModel class."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        registered = ", ".join(available_scenarios())
+        raise ValueError(
+            f"unknown scenario {name!r}; registered scenarios: "
+            f"{registered}"
+        ) from None

@@ -1,0 +1,17 @@
+"""The ``steady_state`` scenario: the paper's evaluation defaults."""
+
+from repro.scenarios.base import WorkloadModel
+from repro.scenarios.registry import register_scenario
+
+
+@register_scenario("steady_state")
+class SteadyStateScenario(WorkloadModel):
+    """TailBench apps at their configured offered load.
+
+    Deliberately overrides nothing: this is the pre-registry behaviour
+    of ``ServerSystem`` / ``repro loadgen``, now reachable by name.  The
+    goldens pin it — any drift from the base-class defaults shows up as
+    a fingerprint mismatch in ``repro verify``.
+    """
+
+    summary = "paper defaults: TailBench guests at steady offered load"

@@ -1,0 +1,25 @@
+"""The ``tailbench`` scenario: the latency-study configuration.
+
+Same guest images as ``steady_state``, but the load is shaped for tail
+latency: arrivals run hotter than the configured steady rate (the
+region where queueing delay, not service time, dominates p95) and the
+serving mix doubles the share of heavy scan ops so merge-daemon CPU
+contends with query service the way Figure 9's latency study stresses.
+"""
+
+from repro.scenarios.base import WorkloadModel
+from repro.scenarios.registry import register_scenario
+
+
+@register_scenario("tailbench")
+class TailBenchScenario(WorkloadModel):
+    """Tail-latency study: hotter arrivals, scan-heavy serving mix."""
+
+    summary = "tail-latency study: 1.25x offered load, scan-heavy serving"
+
+    #: Offered load relative to the app's steady rate.
+    load_factor = 1.25
+    serve_heavy_frac = 0.2
+
+    def arrival_qps(self, app):
+        return app.qps * self.load_factor

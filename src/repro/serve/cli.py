@@ -100,8 +100,12 @@ def add_loadgen_parser(sub):
     p.add_argument("--duration", type=float, default=2.0, metavar="S")
     p.add_argument("--seed", type=int, default=2017)
     p.add_argument("--tenants", type=int, default=1)
-    p.add_argument("--heavy-frac", type=float, default=0.1,
-                   help="fraction of requests that are heavy scan ops")
+    p.add_argument("--scenario", default="steady_state",
+                   help="registered workload scenario supplying the "
+                        "heavy/light op mix (see `repro run --help`)")
+    p.add_argument("--heavy-frac", type=float, default=None,
+                   help="fraction of requests that are heavy scan ops "
+                        "(default: the scenario's serve_heavy_frac)")
     p.add_argument("--deadline-ms", type=int, default=1000)
     p.add_argument("--overload-factor", type=float, default=2.0,
                    help="selfhost: offered load as a multiple of "
@@ -122,11 +126,16 @@ def cmd_loadgen(args):
         return 2
     from repro.serve.loadgen import LoadSpec, run_loadgen
 
-    spec = LoadSpec(
-        target_qps=args.qps, duration_s=args.duration, seed=args.seed,
-        tenants=args.tenants, heavy_frac=args.heavy_frac,
-        deadline_ms=args.deadline_ms, out_dir=args.out_dir,
-    )
+    try:
+        spec = LoadSpec(
+            target_qps=args.qps, duration_s=args.duration, seed=args.seed,
+            tenants=args.tenants, scenario=args.scenario,
+            heavy_frac=args.heavy_frac, deadline_ms=args.deadline_ms,
+            out_dir=args.out_dir,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     result = run_loadgen(spec, args.url)
     _print_result(result)
     return 0 if result.accounting_exact else 1

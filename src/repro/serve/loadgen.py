@@ -35,9 +35,12 @@ from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Dict, Optional
 
+from dataclasses import replace
+
 from repro.analysis.export import rows_to_csv
 from repro.common.io import atomic_write_text
 from repro.common.rng import DeterministicRNG
+from repro.scenarios import get_scenario
 from repro.serve.deadline import DEADLINE_HEADER
 from repro.serve.server import TENANT_HEADER
 from repro.sim.metrics import summarize
@@ -63,26 +66,49 @@ def _connect(host, port, timeout=30):
 
 @dataclass(frozen=True)
 class LoadSpec:
-    """One open-loop run, fully determined by its seed."""
+    """One open-loop run, fully determined by its seed.
+
+    The heavy/light op mix comes from the registered ``scenario``
+    (``serve_heavy_frac`` / ``serve_heavy_pages`` / ``serve_light_kind``
+    ports on the workload model) unless a field is pinned explicitly;
+    ``None`` means "ask the scenario".  The defaults reproduce the
+    pre-scenario bimodal split exactly: ``steady_state`` carries the
+    old 0.1 / 400 pages / read constants.
+    """
 
     target_qps: float = 200.0
     duration_s: float = 2.0
     seed: int = 2017
     tenants: int = 1
-    heavy_frac: float = 0.1
-    heavy_pages: int = 400
-    light_kind: str = "read"
+    scenario: str = "steady_state"
+    heavy_frac: Optional[float] = None
+    heavy_pages: Optional[int] = None
+    light_kind: Optional[str] = None
     deadline_ms: int = 1000
     workers: int = 48
     out_dir: Optional[str] = None
 
     def __post_init__(self):
+        get_scenario(self.scenario)  # ValueError lists the registry
         if self.target_qps <= 0 or self.duration_s <= 0:
             raise ValueError("target_qps and duration_s must be positive")
-        if not 0.0 <= self.heavy_frac <= 1.0:
+        if self.heavy_frac is not None and not 0.0 <= self.heavy_frac <= 1.0:
             raise ValueError(f"heavy_frac out of [0, 1]: {self.heavy_frac}")
         if self.tenants < 1 or self.workers < 1:
             raise ValueError("tenants and workers must be >= 1")
+
+    def resolved(self):
+        """A copy with every ``None`` mix field filled from the scenario."""
+        model = get_scenario(self.scenario)()
+        return replace(
+            self,
+            heavy_frac=(model.serve_heavy_frac if self.heavy_frac is None
+                        else self.heavy_frac),
+            heavy_pages=(model.serve_heavy_pages if self.heavy_pages is None
+                         else self.heavy_pages),
+            light_kind=(model.serve_light_kind if self.light_kind is None
+                        else self.light_kind),
+        )
 
 
 @dataclass
@@ -127,6 +153,7 @@ def _build_schedule(spec):
     Everything stochastic is drawn up front from named streams so the
     same spec replays the same offered traffic exactly.
     """
+    spec = spec.resolved()
     rng = DeterministicRNG(spec.seed, "loadgen")
     arrivals = []
     t = 0.0
@@ -235,6 +262,7 @@ def run_loadgen(spec, base_url, run_name=None):
     convention), ``service_s`` from the actual send — the gap between
     them is client-side dispatch queueing.
     """
+    spec = spec.resolved()
     host, port = _parse_base_url(base_url)
     admission_before = _fetch_admission(base_url)
     schedule = _build_schedule(spec)

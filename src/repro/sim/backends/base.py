@@ -71,6 +71,24 @@ class MergeBackend:
         auditor.attach_hypervisor(self.system.hypervisor)
         return auditor
 
+    # User-guided merge hints (optional fast path) --------------------------------
+
+    #: Whether this backend honors user-guided merge hints.  Backends
+    #: that leave it False still *accept* ``apply_hints`` calls — hints
+    #: are advisory, so ignoring them must be explicit and counted, not
+    #: an AttributeError.
+    supports_hints = False
+
+    def apply_hints(self, hints):
+        """Offer guest-known identical pages to the merging machinery.
+
+        ``hints`` is an iterable of ``(vm_id, gpn)`` pairs.  Returns an
+        accounting dict ``{"accepted": n, "ignored": m}``.  The base
+        implementation (and therefore ``baseline``) explicitly ignores
+        every hint: there is no scanner to fast-path.
+        """
+        return {"accepted": 0, "ignored": len(tuple(hints))}
+
     def register_metrics(self, registry):
         """Publish backend counters into the system's MetricsRegistry."""
 

@@ -10,5 +10,8 @@ class BaselineBackend(MergeBackend):
 
     The base class already audits the hypervisor and schedules nothing,
     so this class only exists to make "no merging" a first-class
-    registry entry rather than a fall-through.
+    registry entry rather than a fall-through.  User-guided merge hints
+    are explicitly ignored (``supports_hints = False``): with no scanner
+    there is nothing to fast-path, and ``apply_hints`` reports every
+    hint as ignored rather than silently dropping it.
     """

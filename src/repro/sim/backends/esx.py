@@ -95,6 +95,14 @@ class ESXBackend(MergeBackend):
         total = compare_cpu + hash_cpu + other_cpu + stalls
         return total / system.freq
 
+    supports_hints = True
+
+    def apply_hints(self, hints):
+        """Honor hints by front-loading the bucket scan queue."""
+        hints = tuple(hints)
+        accepted = self.merger.apply_hints(hints)
+        return {"accepted": accepted, "ignored": len(hints) - accepted}
+
     def register_metrics(self, registry):
         registry.register("esx", lambda: self.merger.stats)
         registry.register(

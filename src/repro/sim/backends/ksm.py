@@ -100,6 +100,14 @@ class KSMSoftwareBackend(MergeBackend):
         auditor.attach_daemon(self.daemon)
         return auditor
 
+    supports_hints = True
+
+    def apply_hints(self, hints):
+        """Honor hints via the daemon's pre-keyed queue-jump path."""
+        hints = tuple(hints)
+        accepted = self.daemon.enqueue_hints(hints)
+        return {"accepted": accepted, "ignored": len(hints) - accepted}
+
     def register_metrics(self, registry):
         registry.register("ksm_daemon", lambda: self.daemon.stats)
 

@@ -140,6 +140,20 @@ class PageForgeBackend(MergeBackend):
         auditor.attach_engine(self.driver.engine)
         return auditor
 
+    supports_hints = True
+
+    def apply_hints(self, hints):
+        """Honor hints through the driver's (hardware-keyed) daemon.
+
+        The queue-jump is the same KSM path; the pre-seeded key comes
+        from the engine's ECC hash (a Last-Refill scan per hinted
+        frame), so hinted pages are keyed by the near-memory hardware
+        eagerly instead of on first scan.
+        """
+        hints = tuple(hints)
+        accepted = self.driver.daemon.enqueue_hints(hints)
+        return {"accepted": accepted, "ignored": len(hints) - accepted}
+
     def register_metrics(self, registry):
         registry.register("ksm_daemon", lambda: self.driver.daemon.stats)
         registry.register("pf_engine", self._engine_metrics)

@@ -29,7 +29,12 @@ def _uksm_config(ksm_config):
 
 @register_backend("uksm")
 class UKSMBackend(KSMSoftwareBackend):
-    """UKSM: budgeted, madvise-free scanning on the KSM chunk path."""
+    """UKSM: budgeted, madvise-free scanning on the KSM chunk path.
+
+    User-guided merge hints are honored through the inherited KSM path:
+    ``UKSMDaemon`` shares the pass queue and checksum gate, so a hinted
+    page jumps the queue pre-keyed exactly as under plain KSM.
+    """
 
     supports_recovery = True
 

@@ -35,13 +35,17 @@ from repro.workloads.tailbench import (
 class LoadGenerator:
     """Arrival processes + per-core FIFO execution for one system."""
 
-    def __init__(self, system, arrival_rngs, query_rng):
+    def __init__(self, system, arrival_rngs, query_rng, scenario=None):
         self.system = system
         self.collector = LatencyCollector()
         app = system.app
         compression = app.sim_time_compression
+        # The scenario scales the offered load; ``steady_state`` (and no
+        # scenario at all) returns ``app.qps`` unchanged, so the default
+        # arrival schedule is bit-identical to the pre-scenario code.
+        qps = app.qps if scenario is None else scenario.arrival_qps(app)
         self.arrivals = [
-            ArrivalProcess(app.qps * compression, rng)
+            ArrivalProcess(qps * compression, rng)
             for rng in arrival_rngs
         ]
         self.service_shape = ServiceTimeModel(

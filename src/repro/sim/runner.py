@@ -353,14 +353,17 @@ class ExperimentResult:
 
 def run_latency_experiment(app, modes=("baseline", "ksm", "pageforge"),
                            scale=None, machine=None, seed=2017,
-                           checkpoint_dir=None, resume=False):
+                           checkpoint_dir=None, resume=False,
+                           scenario="steady_state"):
     """Run one app under each configuration; returns ExperimentResult.
 
     The timed system's event queue holds closures and cannot be
     snapshotted mid-run, so checkpointing here is coarse: each completed
     (app, mode) summary is atomically published to ``checkpoint_dir``
     and, with ``resume=True``, finished modes are loaded instead of
-    re-simulated.
+    re-simulated.  ``scenario`` picks the registered workload; the
+    default keeps checkpoint filenames (and every result bit) identical
+    to the pre-scenario layout.
     """
     import json as _json
     from dataclasses import asdict as _asdict
@@ -370,11 +373,15 @@ def run_latency_experiment(app, modes=("baseline", "ksm", "pageforge"),
 
     app = _resolve_app(app)
     result = ExperimentResult(app_name=app.name)
+    # Non-default scenarios get their own checkpoint namespace so a
+    # resumed serverless run never picks up a steady-state summary.
+    ckpt_tag = "" if scenario == "steady_state" else f"-{scenario}"
     for mode in modes:
         mode_path = None
         if checkpoint_dir is not None:
             mode_path = (
-                _Path(checkpoint_dir) / f"latency-{app.name}-{mode}.json"
+                _Path(checkpoint_dir)
+                / f"latency-{app.name}{ckpt_tag}-{mode}.json"
             )
             if resume and mode_path.exists():
                 try:
@@ -384,7 +391,8 @@ def run_latency_experiment(app, modes=("baseline", "ksm", "pageforge"),
                 except (ValueError, TypeError):
                     pass  # unreadable summary: re-run the mode
         system = ServerSystem(
-            app, mode=mode, machine=machine, scale=scale, seed=seed
+            app, mode=mode, machine=machine, scale=scale, seed=seed,
+            scenario=scenario,
         )
         collector = system.run()
         shares = system.kernel_shares()

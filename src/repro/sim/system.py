@@ -59,6 +59,7 @@ from repro.common.rng import DeterministicRNG
 from repro.cpu import Core, KernelTaskScheduler
 from repro.mem import MemoryController, PhysicalMemory
 from repro.mem.dram import DRAMModel
+from repro.scenarios import get_scenario
 from repro.sim.backends import get_backend
 from repro.sim.backends.cachecost import CacheCostSink as _CacheCostSink
 from repro.sim.engine import EventQueue
@@ -66,11 +67,6 @@ from repro.sim.load import LoadGenerator
 from repro.sim.memmodel import MemoryModel
 from repro.sim.metrics import KSMTimingStats, MetricsRegistry
 from repro.virt import Hypervisor
-from repro.workloads.memimage import (
-    MemoryImageProfile,
-    WriteChurner,
-    build_vm_images,
-)
 
 __all__ = [
     "MODES",
@@ -124,8 +120,12 @@ class ServerSystem:
 
     def __init__(self, app, mode="baseline", machine=None, scale=None,
                  seed=2017, fault_plan=None, resilience=None,
-                 auditor=None):
+                 auditor=None, scenario="steady_state"):
         backend_cls = get_backend(mode)  # ValueError lists the registry
+        # The workload scenario shapes images, churn, arrivals, and
+        # merge hints; ``steady_state`` reproduces the pre-registry
+        # behaviour bit for bit (the goldens pin it).
+        self.scenario = get_scenario(scenario)()
         self.app = app
         self.mode = mode
         self.machine = machine or MachineConfig()
@@ -161,6 +161,9 @@ class ServerSystem:
         self.auditor = auditor
         if auditor is not None:
             auditor.attach_system(self)
+        # Hints go in *after* the auditor attaches, so hinted merges run
+        # under the same frame-accounting checks as scanned ones.
+        self._apply_scenario_hints()
         self._calibrate()
         self._build_metrics()
 
@@ -199,22 +202,29 @@ class ServerSystem:
         self.events = None  # attached in run()
 
     def _build_images(self):
-        profile = MemoryImageProfile.for_app(
-            self.app, self.scale.pages_per_vm
-        )
-        self.images = build_vm_images(
-            self.hypervisor, profile, self.scale.n_vms, self._rng_content
+        self.images = self.scenario.build_images(
+            self.hypervisor, self.app, self.scale.n_vms,
+            self.scale.pages_per_vm, self._rng_content,
         )
         self.vms = self.images.vms
-        self.churner = WriteChurner(
-            self.hypervisor,
-            self.images.churn_pages,
-            self._rng_content.derive("churn"),
-            fraction_per_tick=self.scale.churn_pages_per_tick,
+        self.churner = self.scenario.make_churner(
+            self.hypervisor, self.images,
+            self._rng_content.derive("churn"), self.scale,
         )
 
     def _build_load(self):
-        self.load = LoadGenerator(self, self._rng_arrivals, self._rng_query)
+        self.load = LoadGenerator(
+            self, self._rng_arrivals, self._rng_query,
+            scenario=self.scenario,
+        )
+
+    def _apply_scenario_hints(self):
+        hints = tuple(self.scenario.merge_hints(self.images))
+        self.hint_stats = {
+            "offered": len(hints), "accepted": 0, "ignored": 0,
+        }
+        if hints:
+            self.hint_stats.update(self.backend.apply_hints(hints))
 
     def _build_merging(self, backend_cls):
         # Legacy component attributes: the backend that builds one fills
@@ -240,6 +250,12 @@ class ServerSystem:
             "footprint_pages": self.hypervisor.footprint_pages(),
         })
         registry.register("dram", lambda: self.dram.stats)
+        registry.register("scenario", lambda: {
+            "name": self.scenario.name,
+            "hints_offered": self.hint_stats["offered"],
+            "hints_accepted": self.hint_stats["accepted"],
+            "hints_ignored": self.hint_stats["ignored"],
+        })
         for i, controller in enumerate(self.controllers):
             registry.register(f"mc{i}", self._controller_metrics(controller))
         self.backend.register_metrics(registry)

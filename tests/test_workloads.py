@@ -150,6 +150,44 @@ class TestWriteChurner:
         churner = WriteChurner(hyp, [], DeterministicRNG(5, "churn"))
         assert churner.tick() == 0
 
+    def test_fraction_per_tick_bounds_writes(self, built):
+        hyp, _profile, images = built
+        churner = WriteChurner(hyp, images.churn_pages,
+                               DeterministicRNG(5, "churn"),
+                               fraction_per_tick=0.5)
+        written = churner.tick()
+        expected = max(1, int(len(images.churn_pages) * 0.5))
+        assert written == expected
+        assert churner.writes_issued == expected
+
+    def test_tiny_fraction_still_churns_one_page(self, built):
+        hyp, _profile, images = built
+        churner = WriteChurner(hyp, images.churn_pages,
+                               DeterministicRNG(5, "churn"),
+                               fraction_per_tick=1e-9)
+        assert churner.tick() == 1
+
+    def test_churn_is_seed_deterministic(self, rng):
+        def run_once():
+            hyp = Hypervisor(
+                physical_memory=PhysicalMemory(256 * 1024 * 1024)
+            )
+            images = build_vm_images(
+                hyp, MemoryImageProfile(n_pages_per_vm=100), n_vms=4,
+                rng=DeterministicRNG(1234, "tests"),
+            )
+            churner = WriteChurner(hyp, images.churn_pages,
+                                   DeterministicRNG(5, "churn"),
+                                   fraction_per_tick=0.5)
+            for _ in range(3):
+                churner.tick()
+            return [
+                hyp.guest_read(hyp.vms[vm_id], gpn).tobytes()
+                for vm_id, gpn in images.churn_pages
+            ]
+
+        assert run_once() == run_once()
+
 
 class TestArrivals:
     def test_rate_approximation(self):
@@ -161,6 +199,24 @@ class TestArrivals:
     def test_invalid_rate(self):
         with pytest.raises(ValueError):
             ArrivalProcess(0, DeterministicRNG(3, "arr"))
+
+    def test_seed_determinism(self):
+        first = ArrivalProcess(
+            500.0, DeterministicRNG(3, "arr")
+        ).arrivals_until(1.0)
+        second = ArrivalProcess(
+            500.0, DeterministicRNG(3, "arr")
+        ).arrivals_until(1.0)
+        assert first == second
+
+    def test_rate_scales_arrival_count(self):
+        slow = ArrivalProcess(
+            100.0, DeterministicRNG(3, "arr")
+        ).arrivals_until(2.0)
+        fast = ArrivalProcess(
+            1000.0, DeterministicRNG(3, "arr")
+        ).arrivals_until(2.0)
+        assert len(fast) > 5 * len(slow)
 
 
 class TestServiceModel:
